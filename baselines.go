@@ -1,0 +1,122 @@
+package pugz
+
+import (
+	"repro/internal/bgzf"
+	"repro/internal/guess"
+	"repro/internal/gzindex"
+	"repro/internal/gzipx"
+)
+
+// This file exposes the two related-work baselines the paper positions
+// pugz against (Section II), plus the undetermined-character guesser
+// its discussion leaves as future work (Section VIII). They let
+// downstream users — and the experiment harness — compare the three
+// ways of getting random access to gzip data:
+//
+//	pugz.RandomAccess  no preparation, approximate above level 1
+//	pugz.Index         exact, but requires one prior full decompression
+//	pugz BGZF          exact and parallel, but requires re-compression
+//	                   into the blocked format (and most public data
+//	                   is not stored that way)
+
+// Index provides exact random access to a gzip file after one
+// sequential indexing pass (the zran approach of reference [11]).
+type Index struct {
+	inner      *gzindex.Index
+	payloadOff int64
+}
+
+// BuildIndex decompresses the first member of gz once, checkpointing
+// the decoder state every spacing output bytes (0 selects 1 MiB).
+func BuildIndex(gz []byte, spacing int64) (*Index, error) {
+	m, err := gzipx.ParseHeader(gz)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := gzindex.Build(gz[m.HeaderLen:], spacing)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{inner: inner, payloadOff: int64(m.HeaderLen)}, nil
+}
+
+// Size returns the decompressed size the index covers.
+func (ix *Index) Size() int64 { return ix.inner.OutSize }
+
+// Checkpoints returns the number of restart points.
+func (ix *Index) Checkpoints() int { return len(ix.inner.Checkpoints) }
+
+// ReadAt fills p with decompressed bytes starting at offset off,
+// inflating only from the nearest checkpoint.
+func (ix *Index) ReadAt(gz []byte, p []byte, off int64) (int, error) {
+	return ix.inner.ReadAt(gz[ix.payloadOff:], p, off)
+}
+
+// Marshal serialises the index to a compact side-car blob (windows
+// deflate-compressed); LoadIndex restores it.
+func (ix *Index) Marshal() ([]byte, error) { return ix.inner.Marshal() }
+
+// LoadIndex restores an index serialised by Marshal for use with the
+// same gzip file.
+func LoadIndex(gz []byte, blob []byte) (*Index, error) {
+	m, err := gzipx.ParseHeader(gz)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := gzindex.Unmarshal(blob)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{inner: inner, payloadOff: int64(m.HeaderLen)}, nil
+}
+
+// CompressBGZF compresses data into the blocked BGZF format
+// (bgzip-compatible: independent <=64 KiB members with BC size
+// fields). The output is a valid multi-member gzip file readable by
+// any gunzip.
+func CompressBGZF(data []byte, level int) ([]byte, error) {
+	return bgzf.Compress(data, level)
+}
+
+// DecompressBGZF inflates a BGZF file with the given number of
+// goroutines — trivially parallel because blocks are independent.
+func DecompressBGZF(data []byte, threads int) ([]byte, error) {
+	return bgzf.DecompressParallel(data, threads)
+}
+
+// BGZFReadAt serves an exact positional read from a BGZF file.
+func BGZFReadAt(data []byte, p []byte, off int64) (int, error) {
+	return bgzf.ReadAt(data, p, off)
+}
+
+// IsBGZF reports whether data begins with a BGZF block (a gzip member
+// carrying the BC extra subfield).
+func IsBGZF(data []byte) bool {
+	_, err := bgzf.Scan(data)
+	return err == nil
+}
+
+// GuessResult reports a guessing pass over random-access output.
+type GuessResult struct {
+	// Text is the input with undetermined characters replaced by
+	// structure-aware guesses. Lossy: plausible, not exact.
+	Text    []byte
+	Guessed int
+	// ByPhase counts guesses per FASTQ line phase
+	// (header/dna/plus/quality/unknown).
+	ByPhase map[string]int
+}
+
+// GuessUndetermined applies the FASTQ-structure-aware guesser to the
+// narrowed text of a random access (the future-work direction of the
+// paper's Section VIII). The input is not modified.
+func GuessUndetermined(text []byte, seed int64) *GuessResult {
+	r := guess.Undetermined(text, seed)
+	out := &GuessResult{Text: r.Text, Guessed: r.Guessed, ByPhase: map[string]int{}}
+	for p, n := range r.GuessedByPhase {
+		if n > 0 {
+			out.ByPhase[guess.Phase(p).String()] = n
+		}
+	}
+	return out
+}

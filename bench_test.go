@@ -1,0 +1,395 @@
+// Benchmarks regenerating the paper's performance results. Each
+// testing.B target corresponds to one table or figure (DESIGN.md §3);
+// run with:
+//
+//	go test -bench=. -benchmem
+//
+// Throughput (MB/s of *compressed* input, the paper's metric) is
+// reported via b.SetBytes on the compressed size.
+package pugz_test
+
+import (
+	"bytes"
+	stdgzip "compress/gzip"
+	"io"
+	"sync"
+	"testing"
+
+	pugz "repro"
+	"repro/internal/blockfind"
+	"repro/internal/dna"
+	"repro/internal/experiments"
+	"repro/internal/fastq"
+	"repro/internal/gzipx"
+	"repro/internal/tracked"
+)
+
+// fixtures are built once and shared across benchmarks.
+var (
+	fixOnce   sync.Once
+	fixFastq  []byte // raw FASTQ (~10 MB)
+	fixGz     []byte // level-6 gzip of fixFastq
+	fixGzLow  []byte // level-1
+	fixGzHigh []byte // level-9
+	fixDNAGz  []byte // level-6 gzip of 1 Mbp random DNA
+)
+
+func loadFixtures(b *testing.B) {
+	b.Helper()
+	fixOnce.Do(func() {
+		fixFastq = fastq.Generate(fastq.GenOptions{Reads: 40_000, Seed: 1234})
+		mk := func(level int) []byte {
+			gz, err := pugz.Compress(fixFastq, level)
+			if err != nil {
+				panic(err)
+			}
+			return gz
+		}
+		fixGz = mk(6)
+		fixGzLow = mk(1)
+		fixGzHigh = mk(9)
+		d := dna.Random(1_000_000, 77)
+		gz, err := pugz.Compress(d, 6)
+		if err != nil {
+			panic(err)
+		}
+		fixDNAGz = gz
+	})
+}
+
+// --- Table II: decompression speed -----------------------------------
+
+// BenchmarkTable2GunzipRole is the exact sequential baseline with
+// checksum verification (the "gunzip" column).
+func BenchmarkTable2GunzipRole(b *testing.B) {
+	loadFixtures(b)
+	b.SetBytes(int64(len(fixGz)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pugz.GunzipSequential(fixGz); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2LibdeflateRole is the optimized sequential baseline
+// (Go stdlib inflate, the "libdeflate" column).
+func BenchmarkTable2LibdeflateRole(b *testing.B) {
+	loadFixtures(b)
+	b.SetBytes(int64(len(fixGz)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		zr, err := stdgzip.NewReader(bytes.NewReader(fixGz))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, zr); err != nil {
+			b.Fatal(err)
+		}
+		zr.Close()
+	}
+}
+
+// BenchmarkTable2Pugz32 is the paper's headline configuration.
+func BenchmarkTable2Pugz32(b *testing.B) {
+	loadFixtures(b)
+	b.SetBytes(int64(len(fixGz)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := pugz.Decompress(fixGz, pugz.Options{Threads: 32, MinChunk: 32 << 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 5: thread scaling ----------------------------------------
+
+func BenchmarkFig5Threads(b *testing.B) {
+	loadFixtures(b)
+	for _, th := range []int{1, 2, 4, 8, 16, 32} {
+		b.Run(benchName(th), func(b *testing.B) {
+			b.SetBytes(int64(len(fixGz)))
+			for i := 0; i < b.N; i++ {
+				if _, _, err := pugz.Decompress(fixGz, pugz.Options{Threads: th, MinChunk: 32 << 10}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchName(th int) string {
+	return "threads=" + itoa(th)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// --- Table I / Figures 1+4: random access kernels ---------------------
+
+// BenchmarkTable1RandomAccess measures one full random access: block
+// sync + tracked decode of the remaining stream + sequence extraction.
+func BenchmarkTable1RandomAccess(b *testing.B) {
+	loadFixtures(b)
+	levels := map[string][]byte{"lowest": fixGzLow, "normal": fixGz, "highest": fixGzHigh}
+	for name, gz := range levels {
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(len(gz)))
+			for i := 0; i < b.N; i++ {
+				if _, err := pugz.RandomAccess(gz, int64(len(gz)/3), pugz.RandomAccessOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig2TrackedDecode measures the undetermined-context decode
+// kernel shared by Figures 1, 2 and 4 (decode with symbolic window).
+func BenchmarkFig2TrackedDecode(b *testing.B) {
+	loadFixtures(b)
+	m, err := gzipx.ParseHeader(fixDNAGz)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := fixDNAGz[m.HeaderLen:]
+	blocks, err := pugz.ScanBlocks(fixDNAGz)
+	if err != nil {
+		b.Fatal(err)
+	}
+	startBit := blocks[1].StartBit
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tracked.DecodeFrom(payload, startBit, tracked.DecodeOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Section VI-A: block detection ------------------------------------
+
+// BenchmarkBlockDetect measures one brute-force block sync from a
+// mid-file offset (the paper: 100-300 ms per detection).
+func BenchmarkBlockDetect(b *testing.B) {
+	loadFixtures(b)
+	m, err := gzipx.ParseHeader(fixGz)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := fixGz[m.HeaderLen:]
+	f := blockfind.New()
+	from := int64(len(payload)) / 2 * 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Next(payload, from); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations ---------------------------------------------------------
+
+// BenchmarkAblationConfirmations varies the number of confirmation
+// blocks after a candidate sync (the paper uses 5): fewer
+// confirmations are faster but riskier.
+func BenchmarkAblationConfirmations(b *testing.B) {
+	loadFixtures(b)
+	m, _ := gzipx.ParseHeader(fixGz)
+	payload := fixGz[m.HeaderLen:]
+	from := int64(len(payload)) / 2 * 8
+	for _, conf := range []int{1, 3, 5, 10} {
+		b.Run("confirm="+itoa(conf), func(b *testing.B) {
+			f := blockfind.New()
+			f.Confirmations = conf
+			for i := 0; i < b.N; i++ {
+				if _, err := f.Next(payload, from); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMinChunk varies the chunking granularity of the
+// parallel engine: finer chunks parallelise better but pay more sync
+// scans and more pass-2 windows.
+func BenchmarkAblationMinChunk(b *testing.B) {
+	loadFixtures(b)
+	for _, mc := range []int{16 << 10, 64 << 10, 256 << 10, 1 << 20} {
+		b.Run("minchunk="+itoa(mc>>10)+"KiB", func(b *testing.B) {
+			b.SetBytes(int64(len(fixGz)))
+			for i := 0; i < b.N; i++ {
+				if _, _, err := pugz.Decompress(fixGz, pugz.Options{Threads: 16, MinChunk: mc}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompressLevels measures our zlib-semantics compressor (the
+// corpus generator for every experiment).
+func BenchmarkCompressLevels(b *testing.B) {
+	loadFixtures(b)
+	data := fixFastq[:4<<20]
+	for _, level := range []int{1, 6, 9} {
+		b.Run("level="+itoa(level), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := pugz.Compress(data, level); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Related-work baselines (Section II) -------------------------------
+
+// BenchmarkBaselineIndexReadAt measures exact random access through a
+// zran-style checkpoint index (reference [11]); build cost excluded.
+func BenchmarkBaselineIndexReadAt(b *testing.B) {
+	loadFixtures(b)
+	ix, err := pugz.BuildIndex(fixGz, 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 1<<20)
+	off := ix.Size() / 2
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.ReadAt(fixGz, buf, off); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaselineBGZF measures the blocked-file baseline (reference
+// [12]): trivially parallel decompression of independent blocks.
+func BenchmarkBaselineBGZF(b *testing.B) {
+	loadFixtures(b)
+	bz, err := pugz.CompressBGZF(fixFastq, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, th := range []int{1, 4, 16} {
+		b.Run(benchName(th), func(b *testing.B) {
+			b.SetBytes(int64(len(bz)))
+			for i := 0; i < b.N; i++ {
+				if _, err := pugz.DecompressBGZF(bz, th); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamingReader measures the bounded-memory mode against
+// whole-file decompression.
+func BenchmarkStreamingReader(b *testing.B) {
+	loadFixtures(b)
+	b.SetBytes(int64(len(fixGz)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := pugz.NewReader(fixGz, pugz.StreamOptions{Threads: 4, BatchCompressedBytes: 4 << 20, MinChunk: 512 << 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, r); err != nil {
+			b.Fatal(err)
+		}
+		r.Close()
+	}
+}
+
+// BenchmarkGuesser measures the undetermined-character guesser on
+// masked FASTQ text.
+func BenchmarkGuesser(b *testing.B) {
+	loadFixtures(b)
+	masked := append([]byte{}, fixFastq[:4<<20]...)
+	for i := 13; i < len(masked); i += 17 {
+		if masked[i] != '\n' {
+			masked[i] = '?'
+		}
+	}
+	b.SetBytes(int64(len(masked)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pugz.GuessUndetermined(masked, int64(i))
+	}
+}
+
+// BenchmarkCompressParallel measures pigz-style chunked compression
+// (the introduction's "easy direction").
+func BenchmarkCompressParallel(b *testing.B) {
+	loadFixtures(b)
+	data := fixFastq[:8<<20]
+	for _, th := range []int{1, 4, 16} {
+		b.Run(benchName(th), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := pugz.CompressParallel(data, 6, th); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPass2Translate isolates the pass-2 symbol translation scan.
+func BenchmarkPass2Translate(b *testing.B) {
+	out := make([]uint16, 8<<20)
+	for i := range out {
+		if i%13 == 0 {
+			out[i] = uint16(tracked.SymBase + i%tracked.WindowSize)
+		} else {
+			out[i] = uint16('A' + i%4)
+		}
+	}
+	ctx := make([]byte, tracked.WindowSize)
+	dst := make([]byte, len(out))
+	b.SetBytes(int64(len(out)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tracked.Resolve(out, ctx, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Experiment smoke tests (fast configs) ----------------------------
+
+// TestExperimentsSmoke runs every experiment at a tiny scale so the
+// harness itself stays correct; full-scale runs happen via
+// cmd/experiments (see EXPERIMENTS.md).
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := experiments.Config{Scale: 0.2, Threads: 8}
+	for _, e := range experiments.All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var sink bytes.Buffer
+			if err := e.Run(cfg, &sink); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if sink.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}

@@ -1,0 +1,82 @@
+// Command pugz is a parallel gunzip: it decompresses gzip files using
+// the two-pass algorithm of the paper, producing output byte-identical
+// to gunzip's.
+//
+//	pugz -t 8 file.fastq.gz              # decompress to file.fastq
+//	pugz -c -t 8 file.fastq.gz > out     # decompress to stdout
+//	pugz -stats -t 8 file.fastq.gz       # print a phase breakdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	pugz "repro"
+)
+
+func main() {
+	threads := flag.Int("t", runtime.NumCPU(), "number of decompression threads")
+	stdout := flag.Bool("c", false, "write to standard output")
+	output := flag.String("o", "", "output file (default: input without .gz)")
+	verify := flag.Bool("check", false, "verify CRC-32 and ISIZE (pugz skips checksums by default, like the paper)")
+	stats := flag.Bool("stats", false, "print phase timing to stderr")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pugz [-t N] [-c|-o out] [-check] [-stats] file.gz")
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+	gz, err := os.ReadFile(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	t0 := time.Now()
+	out, st, err := pugz.Decompress(gz, pugz.Options{
+		Threads:         *threads,
+		VerifyChecksums: *verify,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	wall := time.Since(t0)
+
+	switch {
+	case *stdout:
+		if _, err := os.Stdout.Write(out); err != nil {
+			fatal(err)
+		}
+	default:
+		dst := *output
+		if dst == "" {
+			dst = strings.TrimSuffix(in, ".gz")
+			if dst == in {
+				dst = in + ".out"
+			}
+		}
+		if err := os.WriteFile(dst, out, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *stats {
+		fmt.Fprintf(os.Stderr, "pugz: %d -> %d bytes in %v (%.0f MB/s compressed)\n",
+			len(gz), len(out), wall, float64(len(gz))/1e6/wall.Seconds())
+		fmt.Fprintf(os.Stderr, "  members=%d chunks=%d sync=%v pass1=%v pass2(seq)=%v pass2(par)=%v\n",
+			st.Members, len(st.Chunks), st.SyncWall, st.Pass1Wall, st.Pass2SeqWall, st.Pass2ParWall)
+		for i, c := range st.Chunks {
+			fmt.Fprintf(os.Stderr, "  chunk %2d: bits [%d,%d) out=%d unresolved=%d find=%v pass1=%v pass2=%v\n",
+				i, c.StartBit, c.EndBit, c.OutBytes, c.SymbolsUnresolved, c.Find, c.Pass1, c.Pass2)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pugz:", err)
+	os.Exit(1)
+}

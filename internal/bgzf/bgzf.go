@@ -1,0 +1,267 @@
+// Package bgzf implements the blocked-gzip baseline of the paper's
+// Section II (reference [12], SAMtools/HTSlib): the BGZF format used
+// by bgzip/tabix. A BGZF file is a sequence of small *independent*
+// gzip members, each carrying its compressed size in a BC extra
+// subfield, terminated by a fixed EOF member. Independence makes
+// random access and parallel decompression trivial — at the cost of a
+// worse compression ratio (every 64 KiB block restarts the LZ window
+// and Huffman tables) and of requiring files to be *created* this way;
+// the paper notes most SRA uploads are not.
+//
+// The experiments use this package to quantify both sides of that
+// trade-off against pugz, which needs no special file preparation.
+package bgzf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"repro/internal/deflate"
+	"repro/internal/flate"
+)
+
+// MaxBlockInput is the maximum uncompressed payload per BGZF block
+// (the format caps BSIZE at 64 KiB; 0xff00 leaves header room, as in
+// htslib).
+const MaxBlockInput = 0xff00
+
+// eofMarker is the standardised 28-byte empty final block.
+var eofMarker = []byte{
+	0x1f, 0x8b, 0x08, 0x04, 0, 0, 0, 0, 0, 0xff,
+	0x06, 0x00, 0x42, 0x43, 0x02, 0x00, 0x1b, 0x00,
+	0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+}
+
+// Errors.
+var (
+	ErrNotBGZF   = errors.New("bgzf: missing BC extra subfield (not a BGZF file)")
+	ErrTruncated = errors.New("bgzf: truncated block")
+	ErrNoEOF     = errors.New("bgzf: missing EOF marker")
+	ErrBadCRC    = errors.New("bgzf: CRC-32 mismatch")
+)
+
+// Compress writes data as a BGZF file at the given DEFLATE level.
+func Compress(data []byte, level int) ([]byte, error) {
+	var out []byte
+	for start := 0; start < len(data) || start == 0; start += MaxBlockInput {
+		end := start + MaxBlockInput
+		if end > len(data) {
+			end = len(data)
+		}
+		block, err := compressBlock(data[start:end], level)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, block...)
+		if end == len(data) {
+			break
+		}
+	}
+	out = append(out, eofMarker...)
+	return out, nil
+}
+
+// compressBlock emits one BGZF member for chunk.
+func compressBlock(chunk []byte, level int) ([]byte, error) {
+	payload, err := deflate.Compress(chunk, level)
+	if err != nil {
+		return nil, err
+	}
+	// Header: 12 fixed bytes + 6-byte BC subfield; BSIZE = total block
+	// size - 1.
+	total := 12 + 6 + len(payload) + 8
+	if total > 0x10000 {
+		return nil, fmt.Errorf("bgzf: block of %d input bytes compressed to %d (incompressible data should use level 0)", len(chunk), total)
+	}
+	out := make([]byte, 0, total)
+	out = append(out, 0x1f, 0x8b, 0x08, 0x04, // magic, CM, FLG=FEXTRA
+		0, 0, 0, 0, // MTIME
+		0, 0xff) // XFL, OS
+	out = binary.LittleEndian.AppendUint16(out, 6) // XLEN
+	out = append(out, 'B', 'C')
+	out = binary.LittleEndian.AppendUint16(out, 2) // subfield length
+	out = binary.LittleEndian.AppendUint16(out, uint16(total-1))
+	out = append(out, payload...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(chunk))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(chunk)))
+	return out, nil
+}
+
+// Block describes one member's location.
+type Block struct {
+	// Off is the byte offset of the member in the file; Size its total
+	// compressed size.
+	Off, Size int64
+	// OutOff is the decompressed offset of the block's first byte.
+	OutOff int64
+	// OutSize is the decompressed size (from ISIZE).
+	OutSize int64
+}
+
+// Scan walks the chain of BC size fields — no decompression — and
+// returns every block (excluding the EOF marker). This O(blocks)
+// header walk is exactly why blocked files solve random access: the
+// index is implicit.
+func Scan(data []byte) ([]Block, error) {
+	var blocks []Block
+	var off, outOff int64
+	sawEOF := false
+	for off < int64(len(data)) {
+		bsize, err := blockSize(data[off:])
+		if err != nil {
+			return nil, fmt.Errorf("bgzf: at offset %d: %w", off, err)
+		}
+		if off+bsize > int64(len(data)) {
+			return nil, ErrTruncated
+		}
+		isize := int64(binary.LittleEndian.Uint32(data[off+bsize-4:]))
+		if isize == 0 && bsize == int64(len(eofMarker)) {
+			sawEOF = true
+			off += bsize
+			continue
+		}
+		blocks = append(blocks, Block{Off: off, Size: bsize, OutOff: outOff, OutSize: isize})
+		outOff += isize
+		off += bsize
+	}
+	if !sawEOF {
+		return nil, ErrNoEOF
+	}
+	return blocks, nil
+}
+
+// blockSize reads BSIZE from the BC subfield of the member at data.
+func blockSize(data []byte) (int64, error) {
+	if len(data) < 18 {
+		return 0, ErrTruncated
+	}
+	if data[0] != 0x1f || data[1] != 0x8b || data[2] != 8 {
+		return 0, errors.New("bgzf: bad member magic")
+	}
+	if data[3]&0x04 == 0 {
+		return 0, ErrNotBGZF
+	}
+	xlen := int(binary.LittleEndian.Uint16(data[10:]))
+	if len(data) < 12+xlen {
+		return 0, ErrTruncated
+	}
+	extra := data[12 : 12+xlen]
+	for len(extra) >= 4 {
+		si1, si2 := extra[0], extra[1]
+		slen := int(binary.LittleEndian.Uint16(extra[2:]))
+		if len(extra) < 4+slen {
+			return 0, ErrTruncated
+		}
+		if si1 == 'B' && si2 == 'C' && slen == 2 {
+			return int64(binary.LittleEndian.Uint16(extra[4:])) + 1, nil
+		}
+		extra = extra[4+slen:]
+	}
+	return 0, ErrNotBGZF
+}
+
+// decompressBlock inflates one member into dst (which must have the
+// block's OutSize capacity).
+func decompressBlock(data []byte, b Block, dst []byte) error {
+	hdrEnd := b.Off + 18 // fixed header + 6-byte BC subfield
+	payload := data[hdrEnd : b.Off+b.Size-8]
+	out, err := flate.DecompressAll(payload, 0)
+	if err != nil {
+		return err
+	}
+	if int64(len(out)) != b.OutSize {
+		return fmt.Errorf("bgzf: block at %d inflated to %d, ISIZE %d", b.Off, len(out), b.OutSize)
+	}
+	wantCRC := binary.LittleEndian.Uint32(data[b.Off+b.Size-8:])
+	if crc32.ChecksumIEEE(out) != wantCRC {
+		return ErrBadCRC
+	}
+	copy(dst, out)
+	return nil
+}
+
+// Decompress inflates a whole BGZF file sequentially.
+func Decompress(data []byte) ([]byte, error) {
+	return DecompressParallel(data, 1)
+}
+
+// DecompressParallel inflates all blocks with the given number of
+// goroutines. Unlike pugz, no block synchronisation or context
+// propagation is needed — that is the format's whole point.
+func DecompressParallel(data []byte, threads int) ([]byte, error) {
+	blocks, err := Scan(data)
+	if err != nil {
+		return nil, err
+	}
+	var total int64
+	for _, b := range blocks {
+		total += b.OutSize
+	}
+	out := make([]byte, total)
+	if threads < 1 {
+		threads = 1
+	}
+	errs := make([]error, threads)
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			for i := t; i < len(blocks); i += threads {
+				b := blocks[i]
+				if err := decompressBlock(data, b, out[b.OutOff:b.OutOff+b.OutSize]); err != nil {
+					errs[t] = err
+					return
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+	return out, errors.Join(errs...)
+}
+
+// ReadAt fills p from decompressed offset off: binary-search the block
+// chain, inflate only the touched blocks.
+func ReadAt(data []byte, p []byte, off int64) (int, error) {
+	blocks, err := Scan(data)
+	if err != nil {
+		return 0, err
+	}
+	return readAtBlocks(data, blocks, p, off)
+}
+
+// readAtBlocks serves a positional read given a pre-scanned chain.
+func readAtBlocks(data []byte, blocks []Block, p []byte, off int64) (int, error) {
+	if len(blocks) == 0 {
+		return 0, errors.New("bgzf: empty file")
+	}
+	total := blocks[len(blocks)-1].OutOff + blocks[len(blocks)-1].OutSize
+	if off < 0 || off >= total {
+		return 0, fmt.Errorf("bgzf: offset %d out of range [0,%d)", off, total)
+	}
+	// Binary search for the block containing off.
+	lo, hi := 0, len(blocks)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if blocks[mid].OutOff+blocks[mid].OutSize <= off {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	n := 0
+	buf := make([]byte, MaxBlockInput)
+	for n < len(p) && lo < len(blocks) {
+		b := blocks[lo]
+		if err := decompressBlock(data, b, buf[:b.OutSize]); err != nil {
+			return n, err
+		}
+		start := off + int64(n) - b.OutOff
+		n += copy(p[n:], buf[start:b.OutSize])
+		lo++
+	}
+	return n, nil
+}

@@ -1,0 +1,312 @@
+package bitio
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReaderSequentialBits(t *testing.T) {
+	// 0b10110100, 0b01100011 -> LSB-first bit sequence
+	data := []byte{0xb4, 0x63}
+	r := NewReader(data)
+	want := []uint32{0, 0, 1, 0, 1, 1, 0, 1, 1, 1, 0, 0, 0, 1, 1, 0}
+	for i, wb := range want {
+		got, err := r.Take(1)
+		if err != nil {
+			t.Fatalf("bit %d: %v", i, err)
+		}
+		if got != wb {
+			t.Fatalf("bit %d: got %d want %d", i, got, wb)
+		}
+	}
+	if _, err := r.Take(1); !errors.Is(err, ErrUnderflow) {
+		t.Fatal("expected underflow at end")
+	}
+}
+
+func TestReaderMultiBitChunks(t *testing.T) {
+	data := []byte{0xb4, 0x63}
+	r := NewReader(data)
+	v, err := r.Take(4)
+	if err != nil || v != 0x4 {
+		t.Fatalf("low nibble: %x err %v", v, err)
+	}
+	v, err = r.Take(4)
+	if err != nil || v != 0xb {
+		t.Fatalf("high nibble: %x err %v", v, err)
+	}
+	v, err = r.Take(8)
+	if err != nil || v != 0x63 {
+		t.Fatalf("second byte: %x err %v", v, err)
+	}
+}
+
+func TestNewReaderAtOffsets(t *testing.T) {
+	data := []byte{0xff, 0x00, 0xff}
+	for off := int64(0); off <= 24; off++ {
+		r, err := NewReaderAt(data, off)
+		if err != nil {
+			t.Fatalf("offset %d: %v", off, err)
+		}
+		if got := r.BitPos(); got != off {
+			t.Fatalf("offset %d: BitPos %d", off, got)
+		}
+		if got := r.Len(); got != 24-off {
+			t.Fatalf("offset %d: Len %d", off, got)
+		}
+	}
+	if _, err := NewReaderAt(data, 25); err == nil {
+		t.Fatal("expected range error")
+	}
+	if _, err := NewReaderAt(data, -1); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestReaderAtMidByte(t *testing.T) {
+	data := []byte{0b1010_1100}
+	r, err := NewReaderAt(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.Take(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0b011 { // bits 2,3,4 LSB-first: 1,1,0
+		t.Fatalf("got %03b", v)
+	}
+}
+
+func TestPeekDoesNotConsume(t *testing.T) {
+	r := NewReader([]byte{0xa5})
+	if r.Peek(4) != 0x5 {
+		t.Fatal("peek low nibble")
+	}
+	if r.Peek(8) != 0xa5 {
+		t.Fatal("peek full byte")
+	}
+	if r.BitPos() != 0 {
+		t.Fatal("peek consumed bits")
+	}
+	if err := r.Drop(4); err != nil {
+		t.Fatal(err)
+	}
+	if r.Peek(4) != 0xa {
+		t.Fatal("after drop")
+	}
+}
+
+func TestAlignByte(t *testing.T) {
+	r := NewReader([]byte{0xff, 0x12})
+	if _, err := r.Take(3); err != nil {
+		t.Fatal(err)
+	}
+	if skip := r.AlignByte(); skip != 5 {
+		t.Fatalf("skip %d, want 5", skip)
+	}
+	v, err := r.Take(8)
+	if err != nil || v != 0x12 {
+		t.Fatalf("aligned byte %x err %v", v, err)
+	}
+	// Aligning when already aligned is a no-op.
+	if skip := r.AlignByte(); skip != 0 {
+		t.Fatalf("second align skipped %d", skip)
+	}
+}
+
+func TestReadBytes(t *testing.T) {
+	src := []byte{1, 2, 3, 4, 5}
+	r := NewReader(src)
+	dst := make([]byte, 5)
+	if err := r.ReadBytes(dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatal("mismatch")
+	}
+	// Unaligned read must fail.
+	r = NewReader(src)
+	if _, err := r.Take(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ReadBytes(dst[:1]); !errors.Is(err, ErrUnaligned) {
+		t.Fatalf("want ErrUnaligned, got %v", err)
+	}
+	// Reading past the end must fail.
+	r = NewReader(src)
+	if err := r.ReadBytes(make([]byte, 6)); !errors.Is(err, ErrUnderflow) {
+		t.Fatalf("want ErrUnderflow, got %v", err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	data := []byte{0x12, 0x34, 0x56}
+	r := NewReader(data)
+	if _, err := r.Take(13); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Reset(4); err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.Take(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0x41 { // bits 4..11 LSB-first: high nibble of 0x12 is 1, low nibble of 0x34 is 4
+		t.Fatalf("got %#x want 0x41", v)
+	}
+	if err := r.Reset(100); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	type op struct {
+		v uint32
+		n uint
+	}
+	rng := rand.New(rand.NewSource(7))
+	var ops []op
+	w := NewWriter(64)
+	for i := 0; i < 10_000; i++ {
+		n := uint(1 + rng.Intn(24))
+		v := rng.Uint32() & (1<<n - 1)
+		ops = append(ops, op{v, n})
+		w.WriteBits(v, n)
+	}
+	r := NewReader(w.Bytes())
+	for i, o := range ops {
+		got, err := r.Take(o.n)
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if got != o.v {
+			t.Fatalf("op %d: got %#x want %#x (n=%d)", i, got, o.v, o.n)
+		}
+	}
+}
+
+func TestWriterAlignAndBytes(t *testing.T) {
+	w := NewWriter(16)
+	w.WriteBits(0b101, 3)
+	if pad := w.AlignByte(); pad != 5 {
+		t.Fatalf("pad %d", pad)
+	}
+	if err := w.WriteBytes([]byte{0xAB, 0xCD}); err != nil {
+		t.Fatal(err)
+	}
+	got := w.Bytes()
+	want := []byte{0b0000_0101, 0xAB, 0xCD}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got % x want % x", got, want)
+	}
+	if w.BitLen() != 24 {
+		t.Fatalf("BitLen %d", w.BitLen())
+	}
+}
+
+func TestWriterUnalignedBytesRejected(t *testing.T) {
+	w := NewWriter(4)
+	w.WriteBits(1, 1)
+	if err := w.WriteBytes([]byte{1}); !errors.Is(err, ErrUnaligned) {
+		t.Fatalf("want ErrUnaligned, got %v", err)
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0xff, 8)
+	w.Reset()
+	if w.BitLen() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	w.WriteBits(0x1, 1)
+	if got := w.Bytes(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("got % x", got)
+	}
+}
+
+// Property: writing any sequence of (value,width) pairs and reading it
+// back yields the same values, regardless of widths.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(words []uint32, widths []uint8, startPad uint8) bool {
+		if len(words) == 0 {
+			return true
+		}
+		w := NewWriter(64)
+		pad := uint(startPad % 8)
+		w.WriteBits(0, pad) // stress non-zero phase
+		type op struct {
+			v uint32
+			n uint
+		}
+		var ops []op
+		for i, word := range words {
+			n := uint(7) // default width when no widths provided
+			if len(widths) > 0 {
+				n = uint(widths[i%len(widths)]%32) + 1
+			}
+			v := word & (1<<n - 1)
+			ops = append(ops, op{v, n})
+			w.WriteBits(v, n)
+		}
+		r, err := NewReaderAt(w.Bytes(), int64(pad))
+		if err != nil {
+			return false
+		}
+		for _, o := range ops {
+			got, err := r.Take(o.n)
+			if err != nil || got != o.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickReaderAtConsistency(t *testing.T) {
+	// Reading k bits from offset o equals reading o+k bits from 0 and
+	// discarding the first o.
+	f := func(data []byte, off uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		o := int64(off) % (int64(len(data)) * 8)
+		r1, err := NewReaderAt(data, o)
+		if err != nil {
+			return false
+		}
+		r2 := NewReader(data)
+		if err := r2.Drop(0); err != nil {
+			return false
+		}
+		// Discard o bits one at a time (exercises refill paths).
+		for i := int64(0); i < o; i++ {
+			if _, err := r2.Take(1); err != nil {
+				return false
+			}
+		}
+		for r1.Len() > 0 {
+			n := uint(7)
+			if int64(n) > r1.Len() {
+				n = uint(r1.Len())
+			}
+			a, err1 := r1.Take(n)
+			b, err2 := r2.Take(n)
+			if err1 != nil || err2 != nil || a != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+package bitio
+
+// Writer accumulates bits LSB-first and flushes them to an in-memory
+// buffer. It is the output side of the DEFLATE bit order: the first bit
+// written becomes the least-significant bit of the first output byte.
+//
+// The zero value is ready to use.
+type Writer struct {
+	buf []byte
+	acc uint64
+	n   uint
+}
+
+// NewWriter returns a Writer whose internal buffer has the given
+// initial capacity in bytes.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// WriteBits appends the count low bits of v, LSB first. count must be
+// in [0,32] and v must not have bits set above count (callers in this
+// module always mask).
+func (w *Writer) WriteBits(v uint32, count uint) {
+	w.acc |= uint64(v) << w.n
+	w.n += count
+	for w.n >= 8 {
+		w.buf = append(w.buf, byte(w.acc))
+		w.acc >>= 8
+		w.n -= 8
+	}
+}
+
+// AlignByte pads with zero bits to the next byte boundary and returns
+// the number of padding bits added (0..7).
+func (w *Writer) AlignByte() uint {
+	pad := (8 - w.n%8) % 8
+	if pad > 0 {
+		w.WriteBits(0, pad)
+	}
+	return pad
+}
+
+// WriteBytes appends whole bytes; the writer must be byte-aligned.
+func (w *Writer) WriteBytes(p []byte) error {
+	if w.n%8 != 0 {
+		return ErrUnaligned
+	}
+	// Drain any whole buffered bytes first (n can only be 0 here since
+	// WriteBits flushes whole bytes eagerly, but keep it robust).
+	for w.n >= 8 {
+		w.buf = append(w.buf, byte(w.acc))
+		w.acc >>= 8
+		w.n -= 8
+	}
+	w.buf = append(w.buf, p...)
+	return nil
+}
+
+// BitLen returns the total number of bits written so far.
+func (w *Writer) BitLen() int64 {
+	return int64(len(w.buf))*8 + int64(w.n)
+}
+
+// Bytes flushes any partial byte (zero-padded) and returns the buffer.
+// The returned slice aliases the Writer's storage.
+func (w *Writer) Bytes() []byte {
+	w.AlignByte()
+	return w.buf
+}
+
+// Reset discards all written data, retaining capacity.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.acc = 0
+	w.n = 0
+}

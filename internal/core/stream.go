@@ -1,0 +1,256 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/tracked"
+)
+
+// StreamOptions configures bounded-memory streaming decompression.
+//
+// Section VIII of the paper notes that pugz "requires the whole
+// decompressed file to reside in memory, yet further engineering
+// efforts could lift this limitation with little projected impact on
+// performance". This is that engineering effort: the payload is
+// processed in batches of Threads chunks; each batch is decompressed
+// in parallel with symbolic contexts, resolved against the window
+// carried from the previous batch, emitted, and freed. Peak memory is
+// O(BatchBytes x expansion) instead of O(file).
+type StreamOptions struct {
+	// Threads is the number of parallel chunks per batch.
+	Threads int
+	// BatchCompressedBytes is the compressed size of one batch
+	// (default 4 MiB x Threads, min 64 KiB).
+	BatchCompressedBytes int
+	// MinChunk, Confirmations, ValidByte, Sequential: as in Options.
+	MinChunk      int
+	Confirmations int
+	ValidByte     func(byte) bool
+	Sequential    bool
+}
+
+// StreamResult reports a finished streaming run.
+type StreamResult struct {
+	Batches       int
+	OutBytes      int64
+	PayloadEndBit int64
+	Wall          time.Duration
+}
+
+// DecompressStream decompresses a raw DEFLATE stream in bounded
+// memory, invoking emit with consecutive decompressed slices (valid
+// only during the call). The concatenation of all emitted slices is
+// byte-identical to a sequential decode.
+func DecompressStream(payload []byte, o StreamOptions, emit func([]byte) error) (*StreamResult, error) {
+	t0 := time.Now()
+	n := o.Threads
+	if n < 1 {
+		n = 1
+	}
+	batchBytes := o.BatchCompressedBytes
+	if batchBytes <= 0 {
+		batchBytes = 4 << 20 * n
+	}
+	if batchBytes < 64<<10 {
+		batchBytes = 64 << 10
+	}
+	inner := Options{
+		Threads:       n,
+		MinChunk:      o.MinChunk,
+		Confirmations: o.Confirmations,
+		ValidByte:     o.ValidByte,
+		Sequential:    o.Sequential,
+	}
+	if inner.MinChunk <= 0 {
+		inner.MinChunk = defaultMinChunk
+	}
+
+	res := &StreamResult{}
+	// ctx is the resolved 32 KiB window preceding the current batch;
+	// zero-filled at stream start (no valid stream references it).
+	ctx := make([]byte, tracked.WindowSize)
+	startBit := int64(0)
+
+	for {
+		batch, err := decodeBatch(payload, startBit, batchBytes, ctx, inner)
+		if err != nil {
+			return nil, fmt.Errorf("core: stream batch %d: %w", res.Batches, err)
+		}
+		if err := emit(batch.out); err != nil {
+			return nil, err
+		}
+		res.Batches++
+		res.OutBytes += int64(len(batch.out))
+		ctx = batch.window
+		startBit = batch.endBit
+		if batch.final {
+			res.PayloadEndBit = batch.endBit
+			break
+		}
+	}
+	res.Wall = time.Since(t0)
+	return res, nil
+}
+
+// batchResult is one decoded batch.
+type batchResult struct {
+	out    []byte
+	window []byte // resolved last 32 KiB (context for the next batch)
+	endBit int64
+	final  bool
+}
+
+// decodeBatch decompresses the batch starting at startBit (a true
+// block start) whose compressed extent is roughly batchBytes, given
+// the resolved context that precedes it.
+func decodeBatch(payload []byte, startBit int64, batchBytes int, ctx []byte, o Options) (*batchResult, error) {
+	startByte := startBit / 8
+	endByte := startByte + int64(batchBytes)
+	if endByte > int64(len(payload)) {
+		endByte = int64(len(payload))
+	}
+	span := endByte - startByte
+
+	n := o.Threads
+	if maxN := int(span) / o.MinChunk; n > maxN {
+		n = maxN
+	}
+	if n < 1 {
+		n = 1
+	}
+
+	// Plan chunk starts within [startByte, endByte): boundary k targets
+	// startByte + k*span/n. The batch's own start is given; the batch
+	// ends at the first block boundary at/after endByte (discovered by
+	// the last chunk running past endByte*8 via stopBit = that sync) —
+	// or more simply, the last chunk decodes until the block whose
+	// start is >= endByte*8, found by an extra boundary probe.
+	type bound struct {
+		bit int64
+		err error
+	}
+	bounds := make([]bound, n+1) // bounds[n] = batch stop bit (0 = none/EOF)
+	bounds[0] = bound{bit: startBit}
+	forEachChunk(o.Sequential, 1, n+1, func(k int) {
+		f := newFinder(o)
+		target := startByte + int64(k)*span/int64(n)
+		bit, err := f.Next(payload, target*8)
+		if err != nil {
+			// No boundary after this target: the stream's tail has
+			// only the final block left (or k == n at EOF). The chunk
+			// merges into its predecessor / the batch runs to final.
+			bounds[k] = bound{bit: -1}
+			return
+		}
+		bounds[k] = bound{bit: bit, err: nil}
+	})
+
+	var chunks []*chunk
+	prev := int64(-1)
+	for k := 0; k < n; k++ {
+		b := bounds[k].bit
+		if b < 0 || b <= prev {
+			continue
+		}
+		chunks = append(chunks, &chunk{startBit: b})
+		prev = b
+	}
+	stopBit := bounds[n].bit
+	for i := 0; i < len(chunks)-1; i++ {
+		chunks[i].stopBit = chunks[i+1].startBit
+	}
+	lastChunk := chunks[len(chunks)-1]
+	switch {
+	case stopBit > prev:
+		lastChunk.stopBit = stopBit
+	case stopBit < 0:
+		// No non-final block start remains after the batch span: the
+		// tail holds at most the final block; decode to it.
+		lastChunk.last = true
+	default:
+		// The only boundary at/after the batch end is the last chunk's
+		// own start (an unusually large block): decode exactly one
+		// block so the batch stays bounded.
+		lastChunk.stopBit = prev + 1
+	}
+
+	// Pass 1: all chunks use tracked decode (the batch's own initial
+	// context is known, but sharing one code path keeps resolution
+	// uniform; the first chunk's symbols resolve against ctx).
+	errs := make([]error, len(chunks))
+	forEachChunk(o.Sequential, 0, len(chunks), func(i int) {
+		c := chunks[i]
+		t := time.Now()
+		errs[i] = c.decodeTracked(payload)
+		c.m.Pass1 = time.Since(t)
+	})
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+
+	// A chunk may hit the stream's final block early (multi-member or
+	// batch boundary coinciding with EOF): trim as in the whole-file
+	// path.
+	final := false
+	for i, c := range chunks {
+		if c.final {
+			chunks = chunks[:i+1]
+			final = true
+			break
+		}
+	}
+	// Continuity validation within the batch.
+	for i := 0; i < len(chunks)-1; i++ {
+		if chunks[i].endBit == chunks[i+1].startBit {
+			continue
+		}
+		if err := verifyEquivalentStart(payload, chunks[i].endBit, chunks[i+1]); err != nil {
+			return nil, fmt.Errorf("chunk %d/%d: %w", i, len(chunks), err)
+		}
+	}
+	if !final && lastChunk.stopBit == 0 {
+		return nil, ErrNoFinalBlock
+	}
+
+	// Pass 2: resolve sequentially (cheap window propagation), then
+	// translate every chunk into the batch buffer.
+	var total int64
+	for _, c := range chunks {
+		total += int64(len(c.sym))
+	}
+	out := make([]byte, total)
+	w := ctx
+	for _, c := range chunks {
+		c.ctx = w
+		next, err := tracked.ResolveWindow(c.sym, w)
+		if err != nil {
+			return nil, err
+		}
+		w = next
+	}
+	errs = make([]error, len(chunks))
+	var off int64
+	for _, c := range chunks {
+		c.out = off
+		off += int64(len(c.sym))
+	}
+	forEachChunk(o.Sequential, 0, len(chunks), func(i int) {
+		c := chunks[i]
+		dst := out[c.out : c.out+int64(len(c.sym))]
+		if _, err := tracked.Resolve(c.sym, c.ctx, dst); err != nil {
+			errs[i] = err
+		}
+	})
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+
+	return &batchResult{
+		out:    out,
+		window: w,
+		endBit: chunks[len(chunks)-1].endBit,
+		final:  final,
+	}, nil
+}

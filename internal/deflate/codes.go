@@ -1,0 +1,130 @@
+// Package deflate implements a DEFLATE (RFC 1951) compressor on top of
+// internal/lz77, with zlib-compatible block formation: tokens are
+// buffered (16 Ki per block, zlib memLevel 8), and each block is
+// emitted as stored, fixed-Huffman, or dynamic-Huffman, whichever is
+// cheapest — the same rule gzip applies. The resulting streams decode
+// with any inflate implementation and reproduce the block-size and
+// literal-rate phenomena the paper studies.
+package deflate
+
+// Symbol-mapping tables between (length, distance) values and DEFLATE
+// code symbols with extra bits. Built at init from the canonical RFC
+// tables so they provably agree with the decoder's tables.
+
+const (
+	minMatch = 3
+	maxMatch = 258
+
+	maxLitLenSyms  = 286 // 0..285 encodable (286/287 reserved)
+	maxDistSyms    = 30
+	numCodeLenSyms = 19
+	endOfBlock     = 256
+)
+
+var lengthBase = [29]uint16{
+	3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31,
+	35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258,
+}
+
+var lengthExtra = [29]uint8{
+	0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2,
+	3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+}
+
+var distBase = [30]uint32{
+	1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193,
+	257, 385, 513, 769, 1025, 1537, 2049, 3073, 4097, 6145,
+	8193, 12289, 16385, 24577,
+}
+
+var distExtra = [30]uint8{
+	0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6,
+	7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13,
+}
+
+var codeLenOrder = [numCodeLenSyms]uint8{
+	16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+}
+
+// lengthSym maps length-3 (0..255) to the length symbol 257..285.
+var lengthSym [256]uint16
+
+// distSymSmall maps dist-1 for dist in 1..256.
+// distSymLarge maps (dist-1)>>7 for dist in 257..32768.
+var (
+	distSymSmall [256]uint8
+	distSymLarge [256]uint8
+)
+
+func init() {
+	// Length 258 is special: symbol 285 with no extra bits, even
+	// though symbol 284's range (227..258 with 5 extra bits) would
+	// also cover it. gzip always uses 285.
+	for sym := 0; sym < 29; sym++ {
+		base := int(lengthBase[sym])
+		span := 1 << lengthExtra[sym]
+		for l := base; l < base+span && l <= maxMatch; l++ {
+			lengthSym[l-minMatch] = uint16(257 + sym)
+		}
+	}
+	lengthSym[maxMatch-minMatch] = 285
+
+	for sym := 0; sym < 30; sym++ {
+		base := int(distBase[sym])
+		span := 1 << distExtra[sym]
+		for d := base; d < base+span && d <= 32768; d++ {
+			if d <= 256 {
+				distSymSmall[d-1] = uint8(sym)
+			} else {
+				distSymLarge[(d-1)>>7] = uint8(sym)
+			}
+		}
+	}
+}
+
+// lengthSymbol returns the code symbol and extra-bit payload for a
+// match length in [3,258].
+func lengthSymbol(length int) (sym int, extra uint32, extraBits uint) {
+	s := int(lengthSym[length-minMatch])
+	idx := s - 257
+	return s, uint32(length) - uint32(lengthBase[idx]), uint(lengthExtra[idx])
+}
+
+// distSymbol returns the code symbol and extra-bit payload for a
+// distance in [1,32768].
+func distSymbol(dist int) (sym int, extra uint32, extraBits uint) {
+	var s int
+	if dist <= 256 {
+		s = int(distSymSmall[dist-1])
+	} else {
+		s = int(distSymLarge[(dist-1)>>7])
+	}
+	return s, uint32(dist) - distBase[s], uint(distExtra[s])
+}
+
+// fixedLitLenLengths / fixedDistLengths duplicate the decoder's fixed
+// trees for cost comparison and fixed-block emission.
+func fixedLitLenLengths() []uint8 {
+	l := make([]uint8, 288)
+	for i := 0; i <= 143; i++ {
+		l[i] = 8
+	}
+	for i := 144; i <= 255; i++ {
+		l[i] = 9
+	}
+	for i := 256; i <= 279; i++ {
+		l[i] = 7
+	}
+	for i := 280; i <= 287; i++ {
+		l[i] = 8
+	}
+	return l
+}
+
+func fixedDistLengths() []uint8 {
+	l := make([]uint8, 32)
+	for i := range l {
+		l[i] = 5
+	}
+	return l
+}

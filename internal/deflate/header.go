@@ -1,0 +1,150 @@
+package deflate
+
+import "repro/internal/bitio"
+import "repro/internal/huffman"
+
+// clToken is one element of the run-length-encoded tree description:
+// symbol 0..15 is a literal code length; 16/17/18 carry a repeat count
+// in extra.
+type clToken struct {
+	sym   uint8
+	extra uint8
+}
+
+// dynamicHeader is the fully planned dynamic-block tree description,
+// with its exact bit cost so flush can compare encodings before
+// committing bits.
+type dynamicHeader struct {
+	hlit, hdist, hclen int
+	clLens             [numCodeLenSyms]uint8
+	clCodes            []huffman.Code
+	tokens             []clToken
+	costBits           int64
+}
+
+// planDynamicHeader run-length-encodes the two length arrays and
+// builds the code-length code, returning the plan and its bit cost.
+func planDynamicHeader(litLens, distLens []uint8) dynamicHeader {
+	hlit := len(litLens)
+	for hlit > 257 && litLens[hlit-1] == 0 {
+		hlit--
+	}
+	hdist := len(distLens)
+	for hdist > 1 && distLens[hdist-1] == 0 {
+		hdist--
+	}
+
+	combined := make([]uint8, 0, hlit+hdist)
+	combined = append(combined, litLens[:hlit]...)
+	combined = append(combined, distLens[:hdist]...)
+
+	var h dynamicHeader
+	h.hlit, h.hdist = hlit, hdist
+	var clFreq [numCodeLenSyms]int64
+
+	emit := func(sym, extra uint8) {
+		h.tokens = append(h.tokens, clToken{sym, extra})
+		clFreq[sym]++
+	}
+
+	for i := 0; i < len(combined); {
+		v := combined[i]
+		run := 1
+		for i+run < len(combined) && combined[i+run] == v {
+			run++
+		}
+		switch {
+		case v == 0:
+			rem := run
+			for rem >= 11 {
+				n := rem
+				if n > 138 {
+					n = 138
+				}
+				emit(18, uint8(n-11))
+				rem -= n
+			}
+			if rem >= 3 {
+				emit(17, uint8(rem-3))
+				rem = 0
+			}
+			for ; rem > 0; rem-- {
+				emit(0, 0)
+			}
+			i += run
+		default:
+			// First occurrence is sent verbatim; subsequent repeats can
+			// use symbol 16 (copy previous) in chunks of 3..6.
+			emit(v, 0)
+			rem := run - 1
+			for rem >= 3 {
+				n := rem
+				if n > 6 {
+					n = 6
+				}
+				emit(16, uint8(n-3))
+				rem -= n
+			}
+			for ; rem > 0; rem-- {
+				emit(v, 0)
+			}
+			i += run
+		}
+	}
+
+	clLens, err := huffman.BuildLengths(clFreq[:], 7)
+	if err != nil {
+		// Unreachable: clFreq always has at least one nonzero entry
+		// because combined is non-empty.
+		panic("deflate: code-length tree: " + err.Error())
+	}
+	copy(h.clLens[:], clLens)
+	h.clCodes, err = huffman.CanonicalCodes(clLens)
+	if err != nil {
+		panic("deflate: code-length codes: " + err.Error())
+	}
+
+	hclen := numCodeLenSyms
+	for hclen > 4 && h.clLens[codeLenOrder[hclen-1]] == 0 {
+		hclen--
+	}
+	h.hclen = hclen
+
+	cost := int64(5 + 5 + 4 + 3*hclen)
+	for _, t := range h.tokens {
+		cost += int64(h.clLens[t.sym])
+		switch t.sym {
+		case 16:
+			cost += 2
+		case 17:
+			cost += 3
+		case 18:
+			cost += 7
+		}
+	}
+	h.costBits = cost
+	return h
+}
+
+// write emits the header bits (after the caller has written BFINAL and
+// BTYPE).
+func (h *dynamicHeader) write(w *bitio.Writer) {
+	w.WriteBits(uint32(h.hlit-257), 5)
+	w.WriteBits(uint32(h.hdist-1), 5)
+	w.WriteBits(uint32(h.hclen-4), 4)
+	for i := 0; i < h.hclen; i++ {
+		w.WriteBits(uint32(h.clLens[codeLenOrder[i]]), 3)
+	}
+	for _, t := range h.tokens {
+		c := h.clCodes[t.sym]
+		w.WriteBits(c.Bits, uint(c.Len))
+		switch t.sym {
+		case 16:
+			w.WriteBits(uint32(t.extra), 2)
+		case 17:
+			w.WriteBits(uint32(t.extra), 3)
+		case 18:
+			w.WriteBits(uint32(t.extra), 7)
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package deflate
+
+import (
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/huffman"
+	"repro/internal/lz77"
+)
+
+// maxBlockTokens mirrors zlib's lit_bufsize at memLevel 8: a block is
+// flushed when 16 Ki tokens accumulate.
+const maxBlockTokens = 16384
+
+// maxStoredBlock is the largest stored-block payload (16-bit LEN).
+const maxStoredBlock = 65535
+
+// Compress produces a raw DEFLATE stream for data at the given level.
+// Level 0 emits stored blocks only; levels 1..3 use greedy parsing;
+// levels 4..9 use lazy (non-greedy) parsing, exactly like gzip.
+func Compress(data []byte, level int) ([]byte, error) {
+	w := bitio.NewWriter(len(data)/2 + 64)
+	if err := CompressInto(w, data, level); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// CompressInto writes the DEFLATE stream for data to w.
+func CompressInto(w *bitio.Writer, data []byte, level int) error {
+	if level == 0 {
+		return storeAll(w, data)
+	}
+	parser, err := lz77.NewParser(level)
+	if err != nil {
+		return err
+	}
+	e := newEmitter(w, data)
+	if err := parser.Parse(data, e.add); err != nil {
+		return err
+	}
+	return e.finish()
+}
+
+// CompressSegment writes data as a DEFLATE segment that ends exactly
+// on a byte boundary via an empty stored block (a "sync flush", as
+// pigz emits between its independently compressed chunks). When final
+// is set, that trailing empty block carries BFINAL and terminates the
+// stream; otherwise more segments may be concatenated byte-wise.
+//
+// This is the building block for pigz-style parallel compression: the
+// paper's introduction notes that DEFLATE "easily lends itself to
+// processing of blocks of data concurrently" on the compression side.
+func CompressSegment(w *bitio.Writer, data []byte, level int, final bool) error {
+	if level == 0 {
+		for len(data) > 0 {
+			n := len(data)
+			if n > maxStoredBlock {
+				n = maxStoredBlock
+			}
+			writeStored(w, data[:n], false)
+			data = data[n:]
+		}
+	} else {
+		parser, err := lz77.NewParser(level)
+		if err != nil {
+			return err
+		}
+		e := newEmitter(w, data)
+		if err := parser.Parse(data, e.add); err != nil {
+			return err
+		}
+		// Flush remaining tokens as a non-final block.
+		if err := e.flush(false); err != nil {
+			return err
+		}
+	}
+	// Sync flush: empty stored block, final iff the stream ends here.
+	writeStored(w, nil, final)
+	if w.BitLen()%8 != 0 {
+		panic("deflate: segment did not end byte-aligned")
+	}
+	return nil
+}
+
+// storeAll writes data as a sequence of stored blocks (level 0).
+func storeAll(w *bitio.Writer, data []byte) error {
+	// An empty input still needs one (final, empty) stored block.
+	for first := true; first || len(data) > 0; first = false {
+		n := len(data)
+		if n > maxStoredBlock {
+			n = maxStoredBlock
+		}
+		final := n == len(data)
+		writeStored(w, data[:n], final)
+		data = data[n:]
+		if final {
+			break
+		}
+	}
+	return nil
+}
+
+func writeStored(w *bitio.Writer, chunk []byte, final bool) {
+	bfinal := uint32(0)
+	if final {
+		bfinal = 1
+	}
+	w.WriteBits(bfinal, 1)
+	w.WriteBits(0, 2) // BTYPE=00
+	w.AlignByte()
+	w.WriteBits(uint32(len(chunk)), 16)
+	w.WriteBits(^uint32(len(chunk))&0xffff, 16)
+	_ = w.WriteBytes(chunk) // aligned by construction
+}
+
+// emitter buffers tokens into blocks and writes each completed block
+// in whichever encoding is cheapest.
+type emitter struct {
+	w    *bitio.Writer
+	data []byte
+
+	tokens []lz77.Token
+	// inPos tracks how many input bytes the buffered tokens cover, so
+	// the stored-block alternative knows its payload.
+	blockStart int
+	inPos      int
+
+	litLenFreq [maxLitLenSyms]int64
+	distFreq   [maxDistSyms]int64
+
+	fixedLit  []huffman.Code
+	fixedDist []huffman.Code
+}
+
+func newEmitter(w *bitio.Writer, data []byte) *emitter {
+	fl, err := huffman.CanonicalCodes(fixedLitLenLengths())
+	if err != nil {
+		panic("deflate: fixed litlen codes: " + err.Error())
+	}
+	fd, err := huffman.CanonicalCodes(fixedDistLengths())
+	if err != nil {
+		panic("deflate: fixed dist codes: " + err.Error())
+	}
+	return &emitter{
+		w:         w,
+		data:      data,
+		tokens:    make([]lz77.Token, 0, maxBlockTokens),
+		fixedLit:  fl,
+		fixedDist: fd,
+	}
+}
+
+func (e *emitter) add(t lz77.Token) error {
+	e.tokens = append(e.tokens, t)
+	if t.IsLiteral() {
+		e.litLenFreq[t.Lit]++
+		e.inPos++
+	} else {
+		sym, _, _ := lengthSymbol(t.Length())
+		e.litLenFreq[sym]++
+		dsym, _, _ := distSymbol(t.Distance())
+		e.distFreq[dsym]++
+		e.inPos += t.Length()
+	}
+	if len(e.tokens) >= maxBlockTokens {
+		return e.flush(false)
+	}
+	return nil
+}
+
+func (e *emitter) finish() error {
+	return e.flush(true)
+}
+
+// flush writes the buffered tokens as one block.
+func (e *emitter) flush(final bool) error {
+	if !final && len(e.tokens) == 0 {
+		return nil
+	}
+	e.litLenFreq[endOfBlock]++
+
+	litLens, err := huffman.BuildLengths(e.litLenFreq[:], huffman.MaxCodeLen)
+	if err != nil {
+		return fmt.Errorf("deflate: litlen lengths: %w", err)
+	}
+	distLens, err := huffman.BuildLengths(e.distFreq[:], huffman.MaxCodeLen)
+	if err != nil {
+		return fmt.Errorf("deflate: dist lengths: %w", err)
+	}
+	distLens = ensureDistCodes(distLens)
+
+	hdr := planDynamicHeader(litLens, distLens)
+
+	dynCost := hdr.costBits
+	fixedCost := int64(0)
+	for sym, f := range e.litLenFreq {
+		if f == 0 {
+			continue
+		}
+		dynCost += f * int64(litLens[sym])
+		fixedCost += f * int64(e.fixedLit[sym].Len)
+		if sym > endOfBlock {
+			eb := lengthExtra[sym-257]
+			dynCost += f * int64(eb)
+			fixedCost += f * int64(eb)
+		}
+	}
+	for sym, f := range e.distFreq {
+		if f == 0 {
+			continue
+		}
+		dynCost += f * int64(distLens[sym])
+		fixedCost += f * int64(e.fixedDist[sym].Len)
+		eb := distExtra[sym]
+		dynCost += f * int64(eb)
+		fixedCost += f * int64(eb)
+	}
+	fixedCost += 3 // header
+	dynCost += 3
+
+	span := e.data[e.blockStart:e.inPos]
+	storedCost := int64(1 << 62)
+	if len(span) <= maxStoredBlock {
+		// 3 header bits + up-to-7 alignment + 32 bits LEN/NLEN + payload.
+		storedCost = 3 + 7 + 32 + int64(len(span))*8
+	}
+
+	switch {
+	case storedCost < dynCost && storedCost < fixedCost:
+		writeStored(e.w, span, final)
+	case fixedCost <= dynCost:
+		if err := e.writeCompressed(e.fixedLit, e.fixedDist, nil, final); err != nil {
+			return err
+		}
+	default:
+		litCodes, err := huffman.CanonicalCodes(litLens)
+		if err != nil {
+			return fmt.Errorf("deflate: litlen codes: %w", err)
+		}
+		distCodes, err := huffman.CanonicalCodes(distLens)
+		if err != nil {
+			return fmt.Errorf("deflate: dist codes: %w", err)
+		}
+		if err := e.writeCompressed(litCodes, distCodes, &hdr, final); err != nil {
+			return err
+		}
+	}
+
+	e.tokens = e.tokens[:0]
+	e.blockStart = e.inPos
+	clear(e.litLenFreq[:])
+	clear(e.distFreq[:])
+	return nil
+}
+
+// ensureDistCodes guarantees at least one distance code exists: RFC
+// 1951 permits HDIST=1 with a zero-length code "no distance codes",
+// but one dummy 1-bit code is universally compatible (it is what zlib
+// emits) and keeps the decoder's incomplete-tree path exercised only
+// by hand-crafted streams.
+func ensureDistCodes(distLens []uint8) []uint8 {
+	for _, l := range distLens {
+		if l != 0 {
+			return distLens
+		}
+	}
+	out := make([]uint8, len(distLens))
+	copy(out, distLens)
+	out[0] = 1
+	return out
+}
+
+// writeCompressed emits the block header (and dynamic tree description
+// when hdr != nil) followed by the token stream.
+func (e *emitter) writeCompressed(lit, dist []huffman.Code, hdr *dynamicHeader, final bool) error {
+	bfinal := uint32(0)
+	if final {
+		bfinal = 1
+	}
+	e.w.WriteBits(bfinal, 1)
+	if hdr == nil {
+		e.w.WriteBits(1, 2) // fixed
+	} else {
+		e.w.WriteBits(2, 2) // dynamic
+		hdr.write(e.w)
+	}
+	for _, t := range e.tokens {
+		if t.IsLiteral() {
+			c := lit[t.Lit]
+			e.w.WriteBits(c.Bits, uint(c.Len))
+			continue
+		}
+		sym, extra, eb := lengthSymbol(t.Length())
+		c := lit[sym]
+		e.w.WriteBits(c.Bits, uint(c.Len))
+		if eb > 0 {
+			e.w.WriteBits(extra, eb)
+		}
+		dsym, dextra, deb := distSymbol(t.Distance())
+		dc := dist[dsym]
+		if dc.Len == 0 {
+			return fmt.Errorf("deflate: no code for distance symbol %d", dsym)
+		}
+		e.w.WriteBits(dc.Bits, uint(dc.Len))
+		if deb > 0 {
+			e.w.WriteBits(dextra, deb)
+		}
+	}
+	c := lit[endOfBlock]
+	e.w.WriteBits(c.Bits, uint(c.Len))
+	return nil
+}

@@ -1,0 +1,138 @@
+package dna
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestRandomDeterministicAndUniform(t *testing.T) {
+	a := Random(100_000, 1)
+	b := Random(100_000, 1)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed differs")
+	}
+	counts := map[byte]int{}
+	for _, c := range a {
+		counts[c]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("alphabet size %d", len(counts))
+	}
+	for base, n := range counts {
+		frac := float64(n) / 100_000
+		if frac < 0.23 || frac > 0.27 {
+			t.Fatalf("base %q fraction %.3f not ≈0.25", base, frac)
+		}
+	}
+}
+
+func TestFASTQLikeStructure(t *testing.T) {
+	data := FASTQLike(4500, 150, 300, 2)
+	if len(data) != 4500 {
+		t.Fatalf("length %d", len(data))
+	}
+	// Periods of 450: 150 DNA then 300 'x'.
+	for p := 0; p+450 <= len(data); p += 450 {
+		for i := 0; i < 150; i++ {
+			if !IsNucleotide(data[p+i]) {
+				t.Fatalf("pos %d: %q not DNA", p+i, data[p+i])
+			}
+		}
+		for i := 150; i < 450; i++ {
+			if data[p+i] != 'x' {
+				t.Fatalf("pos %d: %q not filler", p+i, data[p+i])
+			}
+		}
+	}
+}
+
+func TestPaperFASTQLike(t *testing.T) {
+	data := PaperFASTQLike(900, 3)
+	if len(data) != 900 {
+		t.Fatal("length")
+	}
+	if data[150] != 'x' || data[449] != 'x' || !IsNucleotide(data[0]) {
+		t.Fatal("shape")
+	}
+}
+
+func TestOrder0Entropy(t *testing.T) {
+	if h := Order0Entropy(nil); h != 0 {
+		t.Fatal("empty entropy")
+	}
+	if h := Order0Entropy(bytes.Repeat([]byte{'A'}, 1000)); h != 0 {
+		t.Fatalf("constant entropy %f", h)
+	}
+	h := Order0Entropy(Random(200_000, 4))
+	if math.Abs(h-2.0) > 0.01 {
+		t.Fatalf("random DNA order-0 entropy %f, want ≈2", h)
+	}
+	// Uniform bytes approach 8 bits.
+	uni := make([]byte, 1<<16)
+	for i := range uni {
+		uni[i] = byte(i)
+	}
+	if h := Order0Entropy(uni); math.Abs(h-8) > 0.001 {
+		t.Fatalf("uniform byte entropy %f", h)
+	}
+}
+
+func TestOrderKEntropy(t *testing.T) {
+	rnd := Random(300_000, 5)
+	h2 := OrderKEntropy(rnd, 2)
+	if math.Abs(h2-2.0) > 0.02 {
+		t.Fatalf("random DNA order-2 entropy %f, want ≈2", h2)
+	}
+	// A deterministic periodic sequence has (near) zero conditional
+	// entropy at order >= period length context.
+	per := bytes.Repeat([]byte("ACGT"), 10_000)
+	if h := OrderKEntropy(per, 2); h > 0.01 {
+		t.Fatalf("periodic order-2 entropy %f", h)
+	}
+	// k=0 falls back to order-0.
+	if OrderKEntropy(rnd, 0) != Order0Entropy(rnd) {
+		t.Fatal("k=0 fallback")
+	}
+	// Degenerate inputs.
+	if OrderKEntropy([]byte("A"), 5) != 0 {
+		t.Fatal("short input")
+	}
+}
+
+func TestLooksRandom(t *testing.T) {
+	if !LooksRandom(Random(100_000, 6), 1.95) {
+		t.Fatal("random DNA failed randomness test")
+	}
+	if LooksRandom(bytes.Repeat([]byte("ACGT"), 25_000), 1.95) {
+		t.Fatal("periodic DNA passed randomness test")
+	}
+}
+
+func TestGC(t *testing.T) {
+	cases := []struct {
+		seq  string
+		want float64
+	}{
+		{"GGCC", 1}, {"AATT", 0}, {"ACGT", 0.5}, {"acgt", 0.5},
+		{"NNNN", 0}, {"", 0}, {"GCNA", 2.0 / 3.0},
+	}
+	for _, c := range cases {
+		if got := GC([]byte(c.seq)); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("GC(%q) = %f, want %f", c.seq, got, c.want)
+		}
+	}
+}
+
+func TestIsNucleotide(t *testing.T) {
+	for _, b := range []byte("ACGTN") {
+		if !IsNucleotide(b) {
+			t.Fatalf("%q", b)
+		}
+	}
+	for _, b := range []byte("acgtUX? \n@") {
+		if IsNucleotide(b) {
+			t.Fatalf("%q accepted", b)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bitio"
+	"repro/internal/deflate"
+	"repro/internal/dna"
+	"repro/internal/flate"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/tracked"
+)
+
+// Fig2Series is one curve of Figure 2: the fraction of undetermined
+// characters per non-overlapping window of width oa, starting the
+// decode at the stream's second block with a fully undetermined
+// context.
+type Fig2Series struct {
+	Level  int
+	AvgOff float64 // o_a: mean match offset (window width)
+	AvgLen float64 // l_a: mean match length
+	Fracs  []float64
+	// VanishIdx is the first window index from which every later
+	// window is fully determined (-1 if never).
+	VanishIdx int
+}
+
+// measureTokenStats decodes the compressed stream and returns mean
+// match offset and length (the paper's o_a and l_a).
+func measureTokenStats(payload []byte) (oa, la float64, err error) {
+	r := bitio.NewReader(payload)
+	var c flate.CountingSink
+	dec := flate.NewDecoder(flate.Options{})
+	if err := dec.DecodeStream(r, &c); err != nil {
+		return 0, 0, err
+	}
+	return c.AvgMatchDist(), c.AvgMatchLen(), nil
+}
+
+// fig2Curve runs the Section IV-C experiment on one corpus and level.
+func fig2Curve(data []byte, level int) (Fig2Series, error) {
+	s := Fig2Series{Level: level, VanishIdx: -1}
+	payload, err := deflate.Compress(data, level)
+	if err != nil {
+		return s, err
+	}
+	oa, la, err := measureTokenStats(payload)
+	if err != nil {
+		return s, err
+	}
+	s.AvgOff, s.AvgLen = oa, la
+
+	_, spans, err := flate.DecompressRecorded(payload, 0, true)
+	if err != nil {
+		return s, err
+	}
+	if len(spans) < 2 {
+		return s, fmt.Errorf("fig2: only %d blocks at level %d", len(spans), level)
+	}
+	// Decode from the second block with an undetermined context.
+	res, err := tracked.DecodeFrom(payload, spans[1].Event.StartBit, tracked.DecodeOptions{})
+	if err != nil {
+		return s, err
+	}
+	win := int(oa)
+	if win < 64 {
+		win = 64
+	}
+	s.Fracs = tracked.UndeterminedPerWindow(res.Out, win)
+	for i := len(s.Fracs) - 1; i >= 0; i-- {
+		if s.Fracs[i] > 0 {
+			if i+1 < len(s.Fracs) {
+				s.VanishIdx = i + 1
+			}
+			break
+		}
+		if i == 0 {
+			s.VanishIdx = 0
+		}
+	}
+	return s, nil
+}
+
+// RunFig2Top regenerates Figure 2 (top): random DNA.
+func RunFig2Top(c Config, w io.Writer) error {
+	c = c.WithDefaults()
+	header(w, "Figure 2 (top): undetermined characters, random DNA")
+	n := c.scaled(1_000_000) // the paper's 1 Mbp
+	data := dna.Random(n, 42+c.Seed)
+	fmt.Fprintf(w, "corpus: %d bp random DNA\n", n)
+
+	var l1FromDefault float64
+	for _, level := range []int{1, 4, 6, 9} {
+		s, err := fig2Curve(data, level)
+		if err != nil {
+			return err
+		}
+		printFig2Series(w, fmt.Sprintf("gzip -%d", level), s)
+		if level == 6 {
+			l1FromDefault = model.L1(model.DefaultWindow, s.AvgLen)
+		}
+	}
+
+	// Model line (Section V-C) using l_a measured at the default level.
+	nWin := 200
+	curve := model.ModelCurve(nWin, l1FromDefault)
+	fmt.Fprintf(w, "\nmodel (L1=%.4f): %s\n", l1FromDefault, stats.Sparkline(curve))
+	fmt.Fprintf(w, "model fractions at windows 1,25,50,100,150,200: ")
+	for _, i := range []int{1, 25, 50, 100, 150, 200} {
+		fmt.Fprintf(w, "%.3f ", model.UndeterminedFrac(i, l1FromDefault))
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// RunFig2Bottom regenerates Figure 2 (bottom): the FASTQ-like string
+// of Section IV-D (150 random DNA chars + 300 'x', repeated). The
+// paper uses 150 MB; the default scale uses 12 MB, which preserves the
+// qualitative result (level 1 resolves only after a very long delay,
+// higher levels resolve quickly).
+func RunFig2Bottom(c Config, w io.Writer) error {
+	c = c.WithDefaults()
+	header(w, "Figure 2 (bottom): undetermined characters, FASTQ-like string")
+	n := c.scaled(12_000_000)
+	data := dna.PaperFASTQLike(n, 43+c.Seed)
+	fmt.Fprintf(w, "corpus: %d bytes FASTQ-like (150 DNA + 300 'x')\n", n)
+	for _, level := range []int{1, 4, 6, 9} {
+		s, err := fig2Curve(data, level)
+		if err != nil {
+			return err
+		}
+		printFig2Series(w, fmt.Sprintf("gzip -%d", level), s)
+	}
+	return nil
+}
+
+func printFig2Series(w io.Writer, name string, s Fig2Series) {
+	fmt.Fprintf(w, "\n%s: o_a=%.0f l_a=%.1f windows=%d vanish@%d\n",
+		name, s.AvgOff, s.AvgLen, len(s.Fracs), s.VanishIdx)
+	show := s.Fracs
+	if len(show) > 120 {
+		// Down-sample for terminal display; full data available to
+		// callers via fig2Curve.
+		step := len(show) / 120
+		ds := make([]float64, 0, 120)
+		for i := 0; i < len(show); i += step {
+			ds = append(ds, show[i])
+		}
+		show = ds
+	}
+	fmt.Fprintf(w, "  %s\n", stats.Sparkline(show))
+	fmt.Fprintf(w, "  first 10 windows: ")
+	for i := 0; i < 10 && i < len(s.Fracs); i++ {
+		fmt.Fprintf(w, "%.3f ", s.Fracs[i])
+	}
+	fmt.Fprintln(w)
+}

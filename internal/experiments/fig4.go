@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/deflate"
+	"repro/internal/fastq"
+	"repro/internal/flate"
+	"repro/internal/stats"
+	"repro/internal/tracked"
+)
+
+// fig4Counts holds, per output window, the number of characters that
+// are copies from the initial (undetermined) context, by character
+// class of the true stream.
+type fig4Counts struct {
+	windows [][fastq.NumCharClasses]int
+}
+
+// RunFig4 regenerates Figure 4: decompress a gzip-compressed FASTQ
+// file from a mid-file location with an undetermined context; then,
+// aligning against the true decompressed stream, count how many
+// characters per 32 KiB window are copies of the initial context, and
+// of which type (header, DNA, '+', quality). The normal-level file
+// should shed DNA copies quickly (~2 MB) while headers persist; the
+// highest-level file keeps DNA copies until the end.
+func RunFig4(c Config, w io.Writer) error {
+	c = c.WithDefaults()
+	header(w, "Figure 4: characters copied from the initial context, by type")
+	reads := int(40000 * clampScale(c.Scale))
+	data := fastq.Generate(fastq.GenOptions{Reads: reads, Seed: 66 + c.Seed})
+	classes := fastq.Classify(data)
+
+	for _, level := range []int{6, 9} {
+		payload, err := deflate.Compress(data, level)
+		if err != nil {
+			return err
+		}
+		// Sync at ~1/3 of the compressed stream, mirroring the paper's
+		// 160/210 MB offsets.
+		_, spans, err := flate.DecompressRecorded(payload, 0, true)
+		if err != nil {
+			return err
+		}
+		if len(spans) < 3 {
+			return fmt.Errorf("fig4: too few blocks at level %d", level)
+		}
+		target := int64(len(payload)) / 3 * 8
+		var start *flate.BlockSpan
+		for i := range spans {
+			if spans[i].Event.StartBit >= target {
+				start = &spans[i]
+				break
+			}
+		}
+		if start == nil || start.Event.Final {
+			return fmt.Errorf("fig4: no usable block after target at level %d", level)
+		}
+
+		res, err := tracked.DecodeFrom(payload, start.Event.StartBit, tracked.DecodeOptions{})
+		if err != nil {
+			return err
+		}
+		counts := countContextCopies(res.Out, classes, int(start.OutStart), tracked.WindowSize)
+
+		fmt.Fprintf(w, "\nlevel %d: decode from output offset %.1f MB, %d windows of 32 KiB\n",
+			level, stats.MB(start.OutStart), len(counts.windows))
+		printFig4(w, counts)
+	}
+	fmt.Fprintln(w, "\nexpected shape (paper): normal level sheds DNA copies after ~2 MB while")
+	fmt.Fprintln(w, "some header/quality copies persist; highest level keeps DNA copies to the end.")
+	return nil
+}
+
+// countContextCopies tallies symbolic entries per window, classified
+// by the true character class at the aligned position.
+func countContextCopies(out []uint16, classes []fastq.CharClass, outStart, window int) fig4Counts {
+	var f fig4Counts
+	nWin := (len(out) + window - 1) / window
+	f.windows = make([][fastq.NumCharClasses]int, nWin)
+	for i, v := range out {
+		if v < tracked.SymBase {
+			continue
+		}
+		pos := outStart + i
+		if pos >= len(classes) {
+			break
+		}
+		f.windows[i/window][classes[pos]]++
+	}
+	return f
+}
+
+func printFig4(w io.Writer, f fig4Counts) {
+	// Per-class sparklines plus the last window index with any copy.
+	names := []fastq.CharClass{fastq.ClassDNA, fastq.ClassQual, fastq.ClassHeader, fastq.ClassPlus}
+	for _, cls := range names {
+		series := make([]float64, len(f.windows))
+		lastNonzero := -1
+		total := 0
+		for i := range f.windows {
+			v := f.windows[i][cls]
+			series[i] = float64(v)
+			total += v
+			if v > 0 {
+				lastNonzero = i
+			}
+		}
+		fmt.Fprintf(w, "  %-8s total=%-8d last-window-with-copies=%-5d %s\n",
+			cls.String(), total, lastNonzero, stats.Sparkline(downsample(series, 100)))
+	}
+}
+
+func downsample(xs []float64, n int) []float64 {
+	if len(xs) <= n {
+		return xs
+	}
+	step := float64(len(xs)) / float64(n)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = xs[int(float64(i)*step)]
+	}
+	return out
+}

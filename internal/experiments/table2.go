@@ -1,0 +1,276 @@
+package experiments
+
+import (
+	"bytes"
+	stdgzip "compress/gzip"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/fastq"
+	"repro/internal/stats"
+
+	pugz "repro"
+)
+
+// table2Corpus builds the three FASTQ files of Section VII-C at the
+// normal compression level (the paper preloads 3-7.5 GB files into
+// memory; we scale down but keep three distinct files).
+func table2Corpus(c Config) ([][]byte, error) {
+	var out [][]byte
+	for i, reads := range []int{60000, 80000, 100000} {
+		data := fastq.Generate(fastq.GenOptions{
+			Reads: int(float64(reads) * clampScale(c.Scale)),
+			Seed:  int64(200+i) + c.Seed,
+		})
+		gz, err := pugz.Compress(data, 6)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, gz)
+	}
+	return out, nil
+}
+
+// SpeedResult is one method's measurement.
+type SpeedResult struct {
+	Method string
+	// MBPerSec is compressed input MB per wall second (the paper's
+	// Table II metric).
+	MBPerSec float64
+	// WorkMBPerSec divides by aggregate CPU work instead of wall time:
+	// on a single-core host this is the fair per-method comparison,
+	// and wall == work for the sequential baselines.
+	WorkMBPerSec float64
+}
+
+// gunzipRole decompresses with this repository's exact sequential
+// decoder (CRC-verified), standing in for gunzip.
+func gunzipRole(gz []byte) (int, error) {
+	out, err := pugz.GunzipSequential(gz)
+	return len(out), err
+}
+
+// libdeflateRole uses the Go standard library's optimized inflate,
+// standing in for libdeflate (the fastest sequential implementation
+// available to a pure-Go build).
+func libdeflateRole(gz []byte) (int, error) {
+	zr, err := stdgzip.NewReader(bytes.NewReader(gz))
+	if err != nil {
+		return 0, err
+	}
+	defer zr.Close()
+	var n int
+	buf := make([]byte, 1<<20)
+	for {
+		k, err := zr.Read(buf)
+		n += k
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// catRole copies the *decompressed* bytes through memory: the paper's
+// upper bound ("the command cat"). Returns output size.
+func catRole(plain []byte) int {
+	dst := make([]byte, len(plain))
+	copy(dst, plain)
+	return len(dst)
+}
+
+// measure runs fn `reps` times over all files and returns compressed
+// MB per second of wall time.
+func measure(files [][]byte, reps int, fn func([]byte) (int, error)) (float64, error) {
+	var totalBytes int64
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		for _, gz := range files {
+			if _, err := fn(gz); err != nil {
+				return 0, err
+			}
+			totalBytes += int64(len(gz))
+		}
+	}
+	return stats.MBPerSec(totalBytes, time.Since(start)), nil
+}
+
+// pugzMeasurement is a clean throughput decomposition for one thread
+// count, obtained from a Sequential-mode run (each chunk measured in
+// isolation, see pugz.Options.Sequential) plus a normal wall-clock run.
+type pugzMeasurement struct {
+	Chunks int
+	// WallMBs is compressed MB/s of a normal concurrent run on this
+	// host (bounded by physical cores).
+	WallMBs float64
+	// SimMBs divides by the simulated makespan: max over chunks of
+	// (find+pass1), plus the sequential window resolution, plus the
+	// slowest translation — the wall time of a machine with one free
+	// core per chunk. This is the number comparable to the paper's
+	// multi-core measurements.
+	SimMBs float64
+	// SimNoSyncMBs excludes the block-detection cost, isolating the
+	// decompression scaling (the paper's GB-sized files make sync
+	// negligible; at this repository's MB scale it is not).
+	SimNoSyncMBs float64
+	// WorkMBs is compressed MB/s per unit of total CPU work.
+	WorkMBs float64
+}
+
+// measurePugz measures one thread count over all files.
+func measurePugz(files [][]byte, reps, threads int) (pugzMeasurement, error) {
+	var m pugzMeasurement
+	var totalBytes int64
+	var wallDur, simDur, simNoSync time.Duration
+	var workSec float64
+	for r := 0; r < reps; r++ {
+		for _, gz := range files {
+			// Normal concurrent run: honest wall clock on this host.
+			_, st, err := pugz.Decompress(gz, pugz.Options{Threads: threads, MinChunk: 32 << 10})
+			if err != nil {
+				return m, err
+			}
+			wallDur += st.TotalWall
+
+			// Sequential run: accurate isolated per-chunk costs.
+			_, st, err = pugz.Decompress(gz, pugz.Options{Threads: threads, MinChunk: 32 << 10, Sequential: true})
+			if err != nil {
+				return m, err
+			}
+			totalBytes += int64(len(gz))
+			workSec += st.WorkSeconds()
+			simDur += st.SimulatedMakespan()
+			var maxP1, maxP2 time.Duration
+			for _, c := range st.Chunks {
+				if c.Pass1 > maxP1 {
+					maxP1 = c.Pass1
+				}
+				if c.Pass2 > maxP2 {
+					maxP2 = c.Pass2
+				}
+			}
+			simNoSync += maxP1 + st.Pass2SeqWall + maxP2
+			m.Chunks = len(st.Chunks)
+		}
+	}
+	m.WallMBs = stats.MBPerSec(totalBytes, wallDur)
+	m.SimMBs = stats.MBPerSec(totalBytes, simDur)
+	m.SimNoSyncMBs = stats.MBPerSec(totalBytes, simNoSync)
+	if workSec > 0 {
+		m.WorkMBs = float64(totalBytes) / 1e6 / workSec
+	}
+	return m, nil
+}
+
+// RunTable2 regenerates Table II: decompression speed (compressed MB/s)
+// for the gunzip role, the libdeflate role, and pugz at 32 threads.
+func RunTable2(c Config, w io.Writer) error {
+	c = c.WithDefaults()
+	header(w, "Table II: decompression speeds (compressed MB/s)")
+	files, err := table2Corpus(c)
+	if err != nil {
+		return err
+	}
+	var totalMB float64
+	for _, f := range files {
+		totalMB += stats.MB(int64(len(f)))
+	}
+	fmt.Fprintf(w, "corpus: %d files, %.1f MB compressed; host cores: %d\n",
+		len(files), totalMB, runtime.NumCPU())
+
+	const reps = 3 // the paper decompresses each file three times
+	gun, err := measure(files, reps, gunzipRole)
+	if err != nil {
+		return err
+	}
+	lib, err := measure(files, reps, libdeflateRole)
+	if err != nil {
+		return err
+	}
+	pm, err := measurePugz(files, reps, c.Threads)
+	if err != nil {
+		return err
+	}
+
+	tbl := stats.NewTable("Method", "Speed (MB/s)", "Notes")
+	tbl.AddRow("gunzip role (this repo, sequential+CRC)", fmt.Sprintf("%.0f", gun), "")
+	tbl.AddRow("libdeflate role (stdlib inflate)", fmt.Sprintf("%.0f", lib), "")
+	tbl.AddRow(fmt.Sprintf("pugz, %d threads (wall)", c.Threads), fmt.Sprintf("%.0f", pm.WallMBs),
+		fmt.Sprintf("on %d physical core(s)", runtime.NumCPU()))
+	tbl.AddRow(fmt.Sprintf("pugz, %d threads (simulated, incl sync)", c.Threads), fmt.Sprintf("%.0f", pm.SimMBs),
+		fmt.Sprintf("1 free core per chunk (%d chunks)", pm.Chunks))
+	tbl.AddRow(fmt.Sprintf("pugz, %d threads (simulated, decompress only)", c.Threads), fmt.Sprintf("%.0f", pm.SimNoSyncMBs),
+		"sync excluded; see EXPERIMENTS.md")
+	fmt.Fprint(w, tbl.String())
+	fmt.Fprintf(w, "\nper-thread work rate of pugz: %.0f MB/s\n", pm.WorkMBs)
+	fmt.Fprintf(w, "paper: gunzip 37, libdeflate 118, pugz-32 611 MB/s (16.5x / 5.2x)\n")
+	fmt.Fprintf(w, "shape check: simulated pugz speedup over gunzip role = %.1fx (incl sync) / %.1fx (decompress only)\n",
+		pm.SimMBs/gun, pm.SimNoSyncMBs/gun)
+	return nil
+}
+
+// RunFig5 regenerates Figure 5: pugz throughput versus thread count,
+// with cat / gunzip role / libdeflate role as horizontal reference
+// lines.
+func RunFig5(c Config, w io.Writer) error {
+	c = c.WithDefaults()
+	header(w, "Figure 5: scaling with thread count")
+	files, err := table2Corpus(c)
+	if err != nil {
+		return err
+	}
+	// Decompress once for the cat baseline's input.
+	plain, err := pugz.GunzipSequential(files[0])
+	if err != nil {
+		return err
+	}
+	catStart := time.Now()
+	const catReps = 20
+	for i := 0; i < catReps; i++ {
+		catRole(plain)
+	}
+	catSpeed := stats.MBPerSec(int64(len(files[0]))*catReps, time.Since(catStart))
+
+	gun, err := measure(files, 1, gunzipRole)
+	if err != nil {
+		return err
+	}
+	lib, err := measure(files, 1, libdeflateRole)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "reference lines (compressed MB/s): cat=%.0f gunzip-role=%.0f libdeflate-role=%.0f\n",
+		catSpeed, gun, lib)
+
+	threadSteps := []int{1, 2, 4, 6, 8, 12, 16, 20, 24, 28, 32}
+	tbl := stats.NewTable("Threads", "Chunks", "Wall MB/s",
+		"Sim MB/s (incl sync)", "Sim MB/s (decomp only)", "Decomp speedup vs 1T")
+	var base float64
+	for _, th := range threadSteps {
+		if th > c.Threads {
+			break
+		}
+		pm, err := measurePugz(files, 1, th)
+		if err != nil {
+			return err
+		}
+		if th == 1 {
+			base = pm.SimNoSyncMBs
+		}
+		tbl.AddRow(th, pm.Chunks, fmt.Sprintf("%.0f", pm.WallMBs),
+			fmt.Sprintf("%.0f", pm.SimMBs), fmt.Sprintf("%.0f", pm.SimNoSyncMBs),
+			fmt.Sprintf("%.2f", pm.SimNoSyncMBs/base))
+	}
+	fmt.Fprint(w, tbl.String())
+	fmt.Fprintf(w, "\nnote: this host has %d physical core(s); wall-clock flattens there. The\n", runtime.NumCPU())
+	fmt.Fprintln(w, "simulated columns model one free core per chunk (per-chunk costs measured in")
+	fmt.Fprintln(w, "isolation via Sequential mode). The decompress-only column is the paper's Fig. 5")
+	fmt.Fprintln(w, "shape; the incl-sync column saturates early because block detection (~60 ms per")
+	fmt.Fprintln(w, "boundary) is amortised over MB-scale chunks here versus GB-scale in the paper.")
+	return nil
+}

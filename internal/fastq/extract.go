@@ -1,0 +1,152 @@
+package fastq
+
+import (
+	"repro/internal/dna"
+	"repro/internal/tracked"
+)
+
+// Extracted is one DNA-like segment returned by the heuristic parser.
+type Extracted struct {
+	Start, End   int // byte offsets into the scanned text
+	Undetermined int // count of undetermined characters inside
+}
+
+// Seq materialises the segment from the scanned text.
+func (e Extracted) Seq(text []byte) []byte { return text[e.Start:e.End] }
+
+// Unambiguous reports whether the segment has no undetermined
+// characters (the Table I "unambiguous sequences" numerator).
+func (e Extracted) Unambiguous() bool { return e.Undetermined == 0 }
+
+// ExtractOptions tunes the heuristic.
+type ExtractOptions struct {
+	// MinLen discards segments shorter than this many characters
+	// (the paper's "minimum read length" filter). Default 32.
+	MinLen int
+}
+
+// DefaultMinLen is the default minimum extracted-sequence length.
+const DefaultMinLen = 32
+
+// Extract implements the Appendix X-B grammar over text that may
+// contain undetermined characters ('?', as produced by
+// tracked.Narrow):
+//
+//	T D+ (U+ D+)* T
+//
+// where T is a newline or undetermined character, D is a nucleotide
+// (A,C,G,T,N), and U is an undetermined character. Matches are
+// maximal and non-overlapping; the leading and trailing T are
+// required but excluded from the result. Segments shorter than
+// MinLen are discarded.
+//
+// The terminators matter: a quality string can contain stretches that
+// look like DNA, but inside a FASTQ line those stretches are flanked
+// by non-DNA quality characters, not by newlines — requiring the T
+// boundary filters most of them out.
+func Extract(text []byte, o ExtractOptions) []Extracted {
+	if o.MinLen == 0 {
+		o.MinLen = DefaultMinLen
+	}
+	isT := func(b byte) bool { return b == '\n' || b == tracked.UndeterminedByte }
+	isU := func(b byte) bool { return b == tracked.UndeterminedByte }
+
+	var out []Extracted
+	i := 0
+	for i < len(text) {
+		// Find a T anchor.
+		if !isT(text[i]) {
+			i++
+			continue
+		}
+		// The body must start with D+ immediately after the anchor.
+		j := i + 1
+		if j >= len(text) || !dna.IsNucleotide(text[j]) {
+			i++
+			continue
+		}
+		start := j
+		// Consume D+ (U+ D+)* greedily, tracking the last position at
+		// which the body ends with a D (a valid stopping point).
+		lastValidEnd := -1
+		for j < len(text) {
+			switch {
+			case dna.IsNucleotide(text[j]):
+				j++
+				lastValidEnd = j
+			case isU(text[j]):
+				// U+ run: only part of the body if followed by more D;
+				// a dead-ending run is rolled back via lastValidEnd and
+				// then serves as the trailing T.
+				k := j
+				for k < len(text) && isU(text[k]) {
+					k++
+				}
+				if k < len(text) && dna.IsNucleotide(text[k]) {
+					j = k
+				} else {
+					j = k
+					goto done
+				}
+			default:
+				goto done
+			}
+		}
+	done:
+		end := lastValidEnd
+		if end < 0 {
+			i++
+			continue
+		}
+		// The grammar requires a trailing T. An undetermined run we
+		// rolled back from supplies it, as does a newline; end-of-text
+		// is accepted for sequences spanning into the next block.
+		if end < len(text) && !isT(text[end]) {
+			i = end
+			continue
+		}
+		// Count undetermined chars within [start,end): the U runs we
+		// actually kept.
+		kept := recountUndetermined(text[start:end])
+		if end-start >= o.MinLen {
+			out = append(out, Extracted{Start: start, End: end, Undetermined: kept})
+		}
+		i = end
+	}
+	return out
+}
+
+func recountUndetermined(seg []byte) int {
+	n := 0
+	for _, b := range seg {
+		if b == tracked.UndeterminedByte {
+			n++
+		}
+	}
+	return n
+}
+
+// SequenceResolvedThreshold is the minimum number of fully determined
+// sequences a block must yield to be called sequence-resolved.
+const SequenceResolvedThreshold = 4
+
+// BlockResolved implements Section VI-B: a decompressed block is
+// sequence-resolved when the heuristic parser returns at least
+// threshold sequences and none of them contains an undetermined
+// character. (Undetermined characters may remain in headers or
+// quality strings.)
+func BlockResolved(blockText []byte, o ExtractOptions, threshold int) bool {
+	if threshold <= 0 {
+		threshold = SequenceResolvedThreshold
+	}
+	segs := Extract(blockText, o)
+	if len(segs) < threshold {
+		return false
+	}
+	for _, s := range segs {
+		if !s.Unambiguous() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,230 @@
+package fastq
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dna"
+)
+
+func TestGenerateParseRoundTrip(t *testing.T) {
+	data := Generate(GenOptions{Reads: 500, ReadLen: 75, Seed: 1})
+	recs, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 500 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	for i, r := range recs {
+		if len(r.Seq) != 75 || len(r.Qual) != 75 {
+			t.Fatalf("record %d: seq %d qual %d", i, len(r.Seq), len(r.Qual))
+		}
+		for _, b := range r.Seq {
+			if !dna.IsNucleotide(b) {
+				t.Fatalf("record %d: bad base %q", i, b)
+			}
+		}
+		for _, q := range r.Qual {
+			if q < 33 || q > 33+41 {
+				t.Fatalf("record %d: quality %d out of Phred+33 range", i, q)
+			}
+		}
+		if !strings.HasPrefix(r.Header, "SIM001:") {
+			t.Fatalf("record %d: header %q", i, r.Header)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(GenOptions{Reads: 100, Seed: 7})
+	b := Generate(GenOptions{Reads: 100, Seed: 7})
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed must generate identical corpora")
+	}
+	c := Generate(GenOptions{Reads: 100, Seed: 8})
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"not multiple of 4": "@h\nACGT\n+\n",
+		"missing @":         "h\nACGT\n+\nIIII\n",
+		"missing +":         "@h\nACGT\nx\nIIII\n",
+		"len mismatch":      "@h\nACGT\n+\nIII\n",
+	}
+	for name, in := range cases {
+		if _, err := Parse([]byte(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	in := []byte("@hdr\nACGT\n+\nIIII\n@h2\nTTTT\n+\nJJJJ\n")
+	cls := Classify(in)
+	if len(cls) != len(in) {
+		t.Fatal("length mismatch")
+	}
+	check := func(pos int, want CharClass) {
+		t.Helper()
+		if cls[pos] != want {
+			t.Fatalf("pos %d (%q): got %v want %v", pos, in[pos], cls[pos], want)
+		}
+	}
+	check(0, ClassHeader)  // '@'
+	check(3, ClassHeader)  // 'r'
+	check(4, ClassSep)     // '\n'
+	check(5, ClassDNA)     // 'A'
+	check(10, ClassPlus)   // '+'
+	check(12, ClassQual)   // 'I'
+	check(17, ClassHeader) // '@h2' second record
+	check(21, ClassDNA)
+}
+
+func TestCharClassString(t *testing.T) {
+	want := map[CharClass]string{
+		ClassHeader: "header", ClassDNA: "dna", ClassPlus: "plus",
+		ClassQual: "quality", ClassSep: "sep", CharClass(99): "?",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Fatalf("%v", c)
+		}
+	}
+}
+
+func TestExtractCleanSequences(t *testing.T) {
+	text := []byte("@header1\nACGTACGTACGTACGTACGTACGTACGTACGTACGT\n+\nIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIIII\n")
+	segs := Extract(text, ExtractOptions{MinLen: 10})
+	if len(segs) != 1 {
+		t.Fatalf("got %d segments: %+v", len(segs), segs)
+	}
+	got := string(segs[0].Seq(text))
+	if got != "ACGTACGTACGTACGTACGTACGTACGTACGTACGT" {
+		t.Fatalf("got %q", got)
+	}
+	if !segs[0].Unambiguous() {
+		t.Fatal("clean sequence flagged ambiguous")
+	}
+}
+
+func TestExtractWithUndetermined(t *testing.T) {
+	// U+ runs inside the body are part of the sequence; a trailing
+	// dead-end U-run terminates it.
+	text := []byte("\nACGT????ACGTACGTACGT????\n")
+	segs := Extract(text, ExtractOptions{MinLen: 5})
+	if len(segs) != 1 {
+		t.Fatalf("got %d segments: %+v", len(segs), segs)
+	}
+	if got := string(segs[0].Seq(text)); got != "ACGT????ACGTACGTACGT" {
+		t.Fatalf("got %q", got)
+	}
+	if segs[0].Undetermined != 4 {
+		t.Fatalf("undetermined %d, want 4", segs[0].Undetermined)
+	}
+}
+
+func TestExtractRequiresTerminators(t *testing.T) {
+	// DNA-looking run flanked by quality characters (no T boundary):
+	// must NOT be extracted.
+	text := []byte("IIIIACGTACGTACGTACGTIIII\n")
+	if segs := Extract(text, ExtractOptions{MinLen: 5}); len(segs) != 0 {
+		t.Fatalf("extracted from inside quality line: %+v", segs)
+	}
+	// Same run but newline-delimited: extracted.
+	text = []byte("IIII\nACGTACGTACGTACGT\nIIII\n")
+	if segs := Extract(text, ExtractOptions{MinLen: 5}); len(segs) != 1 {
+		t.Fatalf("got %+v", segs)
+	}
+}
+
+func TestExtractUndeterminedAnchor(t *testing.T) {
+	// An undetermined character works as the leading anchor (T).
+	text := []byte("??ACGTACGTACGTACGT\n")
+	segs := Extract(text, ExtractOptions{MinLen: 5})
+	if len(segs) != 1 {
+		t.Fatalf("got %+v", segs)
+	}
+	if got := string(segs[0].Seq(text)); got != "ACGTACGTACGTACGT" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestExtractMinLen(t *testing.T) {
+	text := []byte("\nACGT\nACGTACGTACGTACGTACGT\n")
+	segs := Extract(text, ExtractOptions{MinLen: 10})
+	if len(segs) != 1 {
+		t.Fatalf("got %+v", segs)
+	}
+	if len(segs[0].Seq(text)) != 20 {
+		t.Fatal("short segment not filtered")
+	}
+}
+
+func TestExtractEndOfText(t *testing.T) {
+	// A sequence running to the end of the buffer (spanning into the
+	// next, un-decoded block) is accepted.
+	text := []byte("\nACGTACGTACGTACGT")
+	segs := Extract(text, ExtractOptions{MinLen: 5})
+	if len(segs) != 1 {
+		t.Fatalf("got %+v", segs)
+	}
+}
+
+func TestExtractOnGeneratedFastq(t *testing.T) {
+	// On clean FASTQ (no undetermined chars), the extractor must find
+	// essentially one sequence per read, all unambiguous. Quality
+	// strings can contain DNA-letter stretches but lack newline-to-
+	// newline nucleotide-only runs of MinLen.
+	data := Generate(GenOptions{Reads: 2000, ReadLen: 100, Seed: 3})
+	segs := Extract(data, ExtractOptions{MinLen: 32})
+	if len(segs) < 1900 || len(segs) > 2100 {
+		t.Fatalf("extracted %d segments from 2000 reads", len(segs))
+	}
+	for _, s := range segs {
+		if !s.Unambiguous() {
+			t.Fatal("clean input yielded ambiguous segment")
+		}
+	}
+}
+
+func TestBlockResolved(t *testing.T) {
+	clean := Generate(GenOptions{Reads: 50, ReadLen: 100, Seed: 4})
+	if !BlockResolved(clean, ExtractOptions{}, 4) {
+		t.Fatal("clean block not resolved")
+	}
+	// A block whose sequences contain '?' is not resolved.
+	dirty := bytes.ReplaceAll(clean, []byte("A"), []byte("?"))
+	if BlockResolved(dirty, ExtractOptions{}, 4) {
+		t.Fatal("dirty block resolved")
+	}
+	// Too few sequences.
+	tiny := Generate(GenOptions{Reads: 2, ReadLen: 100, Seed: 5})
+	if BlockResolved(tiny, ExtractOptions{}, 4) {
+		t.Fatal("2 reads cannot satisfy threshold 4")
+	}
+}
+
+func TestGenerateNRate(t *testing.T) {
+	data := Generate(GenOptions{Reads: 2000, ReadLen: 100, Seed: 6, NRate: 0.05})
+	recs, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := 0
+	for _, r := range recs {
+		for _, b := range r.Seq {
+			if b == 'N' {
+				ns++
+			}
+		}
+	}
+	frac := float64(ns) / float64(2000*100)
+	if frac < 0.03 || frac > 0.08 {
+		t.Fatalf("N fraction %.4f, want ≈0.05", frac)
+	}
+}

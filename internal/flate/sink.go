@@ -1,0 +1,141 @@
+package flate
+
+import (
+	"errors"
+
+	"repro/internal/bitio"
+)
+
+// ByteSink is a Visitor that materialises the decompressed stream into
+// a flat byte slice. It is the "plain gunzip" consumer: back-references
+// must land inside the bytes already produced.
+type ByteSink struct {
+	Out []byte
+	// Blocks, when non-nil recording is enabled via RecordBlocks,
+	// accumulates one entry per decoded block.
+	Blocks []BlockSpan
+	record bool
+}
+
+// BlockSpan describes one decoded block: its bit extent in the
+// compressed stream and byte extent in the output.
+type BlockSpan struct {
+	Event    BlockEvent
+	EndBit   int64
+	OutStart int64
+	OutEnd   int64
+}
+
+// RecordBlocks enables per-block span recording.
+func (s *ByteSink) RecordBlocks() { s.record = true }
+
+// ErrDanglingRef is returned when a match reaches before the first
+// output byte — decoding a stream from its true start never does this.
+var ErrDanglingRef = errors.New("flate: back-reference before output start")
+
+func (s *ByteSink) BlockStart(ev BlockEvent) error {
+	if s.record {
+		s.Blocks = append(s.Blocks, BlockSpan{Event: ev, OutStart: int64(len(s.Out))})
+	}
+	return nil
+}
+
+func (s *ByteSink) Literal(b byte) error {
+	s.Out = append(s.Out, b)
+	return nil
+}
+
+func (s *ByteSink) Match(length, dist int) error {
+	n := len(s.Out)
+	if dist > n {
+		return ErrDanglingRef
+	}
+	// Overlapping copies (dist < length) must proceed byte-by-byte in
+	// stream order; this is the RLE-style idiom DEFLATE relies on.
+	src := n - dist
+	if dist >= length {
+		s.Out = append(s.Out, s.Out[src:src+length]...)
+		return nil
+	}
+	for i := 0; i < length; i++ {
+		s.Out = append(s.Out, s.Out[src+i])
+	}
+	return nil
+}
+
+func (s *ByteSink) BlockEnd(nextBit int64) error {
+	if s.record {
+		last := &s.Blocks[len(s.Blocks)-1]
+		last.EndBit = nextBit
+		last.OutEnd = int64(len(s.Out))
+	}
+	return nil
+}
+
+// DecompressAll decodes a whole DEFLATE stream (starting at bit offset
+// startBit of data) into a byte slice. It applies normal gunzip rules:
+// no validation-mode restrictions, back-references must stay within
+// produced output.
+func DecompressAll(data []byte, startBit int64) ([]byte, error) {
+	out, _, err := DecompressRecorded(data, startBit, false)
+	return out, err
+}
+
+// DecompressRecorded is DecompressAll with optional per-block span
+// recording (used by tests and the chunk planner).
+func DecompressRecorded(data []byte, startBit int64, record bool) ([]byte, []BlockSpan, error) {
+	r, err := bitio.NewReaderAt(data, startBit)
+	if err != nil {
+		return nil, nil, err
+	}
+	sink := &ByteSink{}
+	if record {
+		sink.RecordBlocks()
+	}
+	dec := NewDecoder(Options{})
+	dec.SetTrackStart(true)
+	if err := dec.DecodeStream(r, sink); err != nil {
+		return nil, nil, err
+	}
+	return sink.Out, sink.Blocks, nil
+}
+
+// CountingSink discards output but tallies tokens; used by validation
+// probes and statistics collection.
+type CountingSink struct {
+	Literals int64
+	Matches  int64
+	Bytes    int64
+	// MatchLenSum and MatchDistSum allow computing the average match
+	// length/offset (the paper's l_a and o_a).
+	MatchLenSum  int64
+	MatchDistSum int64
+	BlocksSeen   int
+}
+
+func (c *CountingSink) BlockStart(BlockEvent) error { c.BlocksSeen++; return nil }
+func (c *CountingSink) Literal(byte) error          { c.Literals++; c.Bytes++; return nil }
+func (c *CountingSink) Match(length, dist int) error {
+	c.Matches++
+	c.Bytes += int64(length)
+	c.MatchLenSum += int64(length)
+	c.MatchDistSum += int64(dist)
+	return nil
+}
+func (c *CountingSink) BlockEnd(int64) error { return nil }
+
+// AvgMatchLen returns l_a, the mean match length (0 when no matches).
+func (c *CountingSink) AvgMatchLen() float64 {
+	if c.Matches == 0 {
+		return 0
+	}
+	return float64(c.MatchLenSum) / float64(c.Matches)
+}
+
+// AvgMatchDist returns o_a, the mean match offset (0 when no matches).
+func (c *CountingSink) AvgMatchDist() float64 {
+	if c.Matches == 0 {
+		return 0
+	}
+	return float64(c.MatchDistSum) / float64(c.Matches)
+}

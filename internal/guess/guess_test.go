@@ -1,0 +1,157 @@
+package guess
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fastq"
+	"repro/internal/tracked"
+)
+
+// maskRandomly replaces a fraction of characters with '?' (never
+// newlines, mirroring real undetermined propagation which follows
+// byte copies, not structure).
+func maskRandomly(data []byte, frac float64, seed int64) []byte {
+	out := append([]byte{}, data...)
+	rng := newRng(seed)
+	for i, b := range out {
+		if b != '\n' && rng.Float64() < frac {
+			out[i] = tracked.UndeterminedByte
+		}
+	}
+	return out
+}
+
+func newRng(seed int64) *rngT { return &rngT{state: uint64(seed)*2685821657736338717 + 1} }
+
+type rngT struct{ state uint64 }
+
+func (r *rngT) Float64() float64 {
+	r.state ^= r.state << 13
+	r.state ^= r.state >> 7
+	r.state ^= r.state << 17
+	return float64(r.state>>11) / (1 << 53)
+}
+
+func TestPhaseDetection(t *testing.T) {
+	data := fastq.Generate(fastq.GenOptions{Reads: 200, Seed: 1})
+	// Prepend a partial line, as random access would produce.
+	text := append([]byte("GGTTAACC"), '\n')
+	text = append(text, data...)
+	res := Undetermined(text, 1)
+	// First full line is a header -> after dropping the partial first
+	// line the cycle offset must make line 0 a header.
+	if Phase(res.PhaseOffset%4) != PhaseHeader {
+		t.Fatalf("phase offset %d does not align headers", res.PhaseOffset)
+	}
+}
+
+func TestGuessCoversMostPositions(t *testing.T) {
+	data := fastq.Generate(fastq.GenOptions{Reads: 500, Seed: 2})
+	masked := maskRandomly(data, 0.15, 3)
+	total := bytes.Count(masked, []byte{tracked.UndeterminedByte})
+	res := Undetermined(masked, 4)
+	rem := bytes.Count(res.Text, []byte{tracked.UndeterminedByte})
+	covered := float64(total-rem) / float64(total)
+	// The guesser deliberately declines lines it cannot anchor (e.g.
+	// records whose header '@' was masked), so coverage is high but
+	// not total.
+	if covered < 0.75 {
+		t.Fatalf("coverage %.3f (guessed %d of %d), want >= 0.75", covered, total-rem, total)
+	}
+	if res.Guessed == 0 {
+		t.Fatal("nothing guessed")
+	}
+}
+
+// accuracy measures the fraction of masked positions whose guess
+// equals the truth, per phase.
+func accuracy(t *testing.T, truth, masked, guessed []byte, wantPhase fastq.CharClass) (right, total int) {
+	t.Helper()
+	classes := fastq.Classify(truth)
+	for i := range truth {
+		if masked[i] != tracked.UndeterminedByte || classes[i] != wantPhase {
+			continue
+		}
+		total++
+		if guessed[i] == truth[i] {
+			right++
+		}
+	}
+	return right, total
+}
+
+func TestGuessAccuracyByClass(t *testing.T) {
+	data := fastq.Generate(fastq.GenOptions{Reads: 2000, Seed: 5})
+	masked := maskRandomly(data, 0.10, 6)
+	res := Undetermined(masked, 7)
+	if len(res.Text) != len(data) {
+		t.Fatal("length changed")
+	}
+
+	// Quality guesses exploit run correlation: expect well above the
+	// ~2.5% a uniform guess over the alphabet would get.
+	if r, n := accuracy(t, data, masked, res.Text, fastq.ClassQual); n > 0 {
+		frac := float64(r) / float64(n)
+		if frac < 0.35 {
+			t.Errorf("quality accuracy %.3f, want >= 0.35 (run-copy heuristic)", frac)
+		}
+	}
+	// Header guesses exploit the shared template: instrument/flowcell
+	// prefixes are deterministic, coordinates are not.
+	if r, n := accuracy(t, data, masked, res.Text, fastq.ClassHeader); n > 0 {
+		frac := float64(r) / float64(n)
+		if frac < 0.30 {
+			t.Errorf("header accuracy %.3f, want >= 0.30 (consensus)", frac)
+		}
+	}
+	// DNA is uniform random: composition sampling can only reach ~25%.
+	if r, n := accuracy(t, data, masked, res.Text, fastq.ClassDNA); n > 0 {
+		frac := float64(r) / float64(n)
+		if frac < 0.15 || frac > 0.40 {
+			t.Errorf("dna accuracy %.3f, want ≈0.25 (uniform bases)", frac)
+		}
+	}
+}
+
+func TestGuessPreservesResolved(t *testing.T) {
+	data := fastq.Generate(fastq.GenOptions{Reads: 300, Seed: 8})
+	masked := maskRandomly(data, 0.2, 9)
+	res := Undetermined(masked, 10)
+	for i := range masked {
+		if masked[i] != tracked.UndeterminedByte && res.Text[i] != masked[i] {
+			t.Fatalf("position %d: resolved byte %q was modified to %q", i, masked[i], res.Text[i])
+		}
+	}
+}
+
+func TestGuessDeterministic(t *testing.T) {
+	data := fastq.Generate(fastq.GenOptions{Reads: 100, Seed: 11})
+	masked := maskRandomly(data, 0.3, 12)
+	a := Undetermined(masked, 42)
+	b := Undetermined(masked, 42)
+	if !bytes.Equal(a.Text, b.Text) {
+		t.Fatal("same seed produced different guesses")
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	if res := Undetermined(nil, 1); res.Guessed != 0 {
+		t.Fatal("guessed in empty input")
+	}
+	if res := Undetermined([]byte("no newline at all"), 1); res.Guessed != 0 {
+		t.Fatal("partial single line should be skipped")
+	}
+	// All-undetermined input: nothing reliable, but must not panic.
+	blob := bytes.Repeat([]byte{tracked.UndeterminedByte}, 1000)
+	_ = Undetermined(blob, 1)
+}
+
+func TestPhaseString(t *testing.T) {
+	want := map[Phase]string{PhaseHeader: "header", PhaseDNA: "dna", PhasePlus: "plus", PhaseQual: "quality", PhaseUnknown: "unknown"}
+	for p, s := range want {
+		if p.String() != s {
+			t.Fatalf("%v", p)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package gzindex
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/deflate"
+	"repro/internal/fastq"
+)
+
+func fixture(t *testing.T, reads, level int) (payload, data []byte) {
+	t.Helper()
+	data = fastq.Generate(fastq.GenOptions{Reads: reads, Seed: 51})
+	payload, err := deflate.Compress(data, level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return payload, data
+}
+
+func TestBuildAndReadAt(t *testing.T) {
+	payload, data := fixture(t, 20000, 6)
+	ix, err := Build(payload, 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.OutSize != int64(len(data)) {
+		t.Fatalf("OutSize %d, want %d", ix.OutSize, len(data))
+	}
+	if len(ix.Checkpoints) < 5 {
+		t.Fatalf("only %d checkpoints", len(ix.Checkpoints))
+	}
+	rng := rand.New(rand.NewSource(1))
+	buf := make([]byte, 5000)
+	for trial := 0; trial < 40; trial++ {
+		off := rng.Int63n(int64(len(data)) - int64(len(buf)))
+		n, err := ix.ReadAt(payload, buf, off)
+		if err != nil {
+			t.Fatalf("trial %d off %d: %v", trial, off, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("trial %d: short read %d", trial, n)
+		}
+		if !bytes.Equal(buf, data[off:off+int64(n)]) {
+			t.Fatalf("trial %d off %d: content mismatch", trial, off)
+		}
+	}
+}
+
+func TestReadAtBoundaries(t *testing.T) {
+	payload, data := fixture(t, 8000, 6)
+	ix, err := Build(payload, 128<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offset 0.
+	buf := make([]byte, 100)
+	if _, err := ix.ReadAt(payload, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data[:100]) {
+		t.Fatal("offset 0 mismatch")
+	}
+	// Tail: short read allowed at EOF.
+	n, err := ix.ReadAt(payload, buf, int64(len(data))-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 || !bytes.Equal(buf[:10], data[len(data)-10:]) {
+		t.Fatalf("tail read n=%d", n)
+	}
+	// Past end / negative.
+	if _, err := ix.ReadAt(payload, buf, int64(len(data))); err == nil {
+		t.Fatal("past-end accepted")
+	}
+	if _, err := ix.ReadAt(payload, buf, -1); err == nil {
+		t.Fatal("negative accepted")
+	}
+}
+
+func TestReadAtExactlyAtCheckpoint(t *testing.T) {
+	payload, data := fixture(t, 8000, 6)
+	ix, err := Build(payload, 128<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cp := range ix.Checkpoints {
+		if cp.Out+50 > int64(len(data)) {
+			continue
+		}
+		buf := make([]byte, 50)
+		if _, err := ix.ReadAt(payload, buf, cp.Out); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, data[cp.Out:cp.Out+50]) {
+			t.Fatalf("checkpoint at %d: mismatch", cp.Out)
+		}
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	payload, data := fixture(t, 10000, 6)
+	ix, err := Build(payload, 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := ix.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compressed windows should make the index much smaller than raw
+	// checkpoints (32 KiB each).
+	raw := len(ix.Checkpoints) * 32768
+	if len(blob) > raw {
+		t.Fatalf("index %d bytes not smaller than raw %d", len(blob), raw)
+	}
+	ix2, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2.OutSize != ix.OutSize || ix2.EndBit != ix.EndBit || len(ix2.Checkpoints) != len(ix.Checkpoints) {
+		t.Fatal("metadata mismatch")
+	}
+	for i := range ix.Checkpoints {
+		a, b := ix.Checkpoints[i], ix2.Checkpoints[i]
+		if a.Bit != b.Bit || a.Out != b.Out || !bytes.Equal(a.Window, b.Window) {
+			t.Fatalf("checkpoint %d mismatch", i)
+		}
+	}
+	// And the deserialised index must serve reads.
+	buf := make([]byte, 1000)
+	off := int64(len(data) / 2)
+	if _, err := ix2.ReadAt(payload, buf, off); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data[off:off+1000]) {
+		t.Fatal("read through deserialised index mismatch")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	payload, _ := fixture(t, 2000, 6)
+	ix, _ := Build(payload, 128<<10)
+	blob, _ := ix.Marshal()
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("XXXX"), blob[4:]...),
+		"truncated": blob[:len(blob)/2],
+		"bad ver":   append([]byte("GZIX\x09"), blob[5:]...),
+	}
+	for name, data := range cases {
+		if _, err := Unmarshal(data); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestBuildDefaultSpacing(t *testing.T) {
+	payload, _ := fixture(t, 20000, 6)
+	ix, err := Build(payload, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~10 MB output at 1 MiB spacing: around 10 checkpoints.
+	if len(ix.Checkpoints) < 3 || len(ix.Checkpoints) > 30 {
+		t.Fatalf("%d checkpoints at default spacing", len(ix.Checkpoints))
+	}
+}

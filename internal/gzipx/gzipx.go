@@ -1,0 +1,257 @@
+// Package gzipx implements the gzip container format (RFC 1952) around
+// internal/deflate and internal/flate: member headers with optional
+// fields, CRC-32 + ISIZE trailers, multi-member concatenation, and the
+// XFL-based compression-level classification that the UNIX file
+// command (and Section VII-A of the paper) uses to partition datasets
+// into lowest / normal / highest compression levels.
+package gzipx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/deflate"
+	"repro/internal/flate"
+)
+
+const (
+	id1       = 0x1f
+	id2       = 0x8b
+	cmDeflate = 8
+
+	flgFTEXT    = 1 << 0
+	flgFHCRC    = 1 << 1
+	flgFEXTRA   = 1 << 2
+	flgFNAME    = 1 << 3
+	flgFCOMMENT = 1 << 4
+)
+
+// Errors surfaced by the parser.
+var (
+	ErrBadMagic  = errors.New("gzipx: not a gzip file (bad magic)")
+	ErrBadMethod = errors.New("gzipx: unsupported compression method")
+	ErrTruncated = errors.New("gzipx: truncated member")
+	ErrBadCRC    = errors.New("gzipx: CRC-32 mismatch")
+	ErrBadISize  = errors.New("gzipx: ISIZE mismatch")
+	ErrBadFlags  = errors.New("gzipx: reserved flag bits set")
+)
+
+// Member describes one gzip member's framing within a file.
+type Member struct {
+	// HeaderLen is the byte length of the member header; the DEFLATE
+	// payload begins at this offset from the member start.
+	HeaderLen int
+	XFL       byte
+	OS        byte
+	Name      string
+	Comment   string
+}
+
+// CompressionClass partitions gzip files the way `file` does, from the
+// XFL byte: 4 = fastest (gzip -1), 2 = maximum (gzip -9), 0 = anything
+// between. Table I of the paper uses exactly this partition.
+type CompressionClass int
+
+const (
+	ClassNormal CompressionClass = iota
+	ClassLowest
+	ClassHighest
+)
+
+func (c CompressionClass) String() string {
+	switch c {
+	case ClassLowest:
+		return "lowest"
+	case ClassHighest:
+		return "highest"
+	default:
+		return "normal"
+	}
+}
+
+// ClassifyXFL maps the XFL header byte to a CompressionClass.
+func ClassifyXFL(xfl byte) CompressionClass {
+	switch xfl {
+	case 4:
+		return ClassLowest
+	case 2:
+		return ClassHighest
+	default:
+		return ClassNormal
+	}
+}
+
+// xflForLevel mirrors gzip: XFL=2 at maximum compression, XFL=4 at
+// fastest, 0 otherwise.
+func xflForLevel(level int) byte {
+	switch {
+	case level >= 9:
+		return 2
+	case level == 1:
+		return 4
+	default:
+		return 0
+	}
+}
+
+// ParseHeader parses a member header at the start of data.
+func ParseHeader(data []byte) (Member, error) {
+	var m Member
+	if len(data) < 10 {
+		return m, ErrTruncated
+	}
+	if data[0] != id1 || data[1] != id2 {
+		return m, ErrBadMagic
+	}
+	if data[2] != cmDeflate {
+		return m, fmt.Errorf("%w: CM=%d", ErrBadMethod, data[2])
+	}
+	flg := data[3]
+	if flg&0xe0 != 0 {
+		return m, ErrBadFlags
+	}
+	m.XFL = data[8]
+	m.OS = data[9]
+	pos := 10
+	if flg&flgFEXTRA != 0 {
+		if len(data) < pos+2 {
+			return m, ErrTruncated
+		}
+		xlen := int(binary.LittleEndian.Uint16(data[pos:]))
+		pos += 2 + xlen
+		if len(data) < pos {
+			return m, ErrTruncated
+		}
+	}
+	readZString := func() (string, error) {
+		start := pos
+		for {
+			if pos >= len(data) {
+				return "", ErrTruncated
+			}
+			if data[pos] == 0 {
+				pos++
+				return string(data[start : pos-1]), nil
+			}
+			pos++
+		}
+	}
+	if flg&flgFNAME != 0 {
+		s, err := readZString()
+		if err != nil {
+			return m, err
+		}
+		m.Name = s
+	}
+	if flg&flgFCOMMENT != 0 {
+		s, err := readZString()
+		if err != nil {
+			return m, err
+		}
+		m.Comment = s
+	}
+	if flg&flgFHCRC != 0 {
+		pos += 2
+		if len(data) < pos {
+			return m, ErrTruncated
+		}
+	}
+	m.HeaderLen = pos
+	return m, nil
+}
+
+// Options controls member creation.
+type Options struct {
+	Level int    // 0..9; 0 = stored
+	Name  string // optional FNAME
+}
+
+// Compress produces a complete single-member gzip file from data.
+func Compress(data []byte, level int) ([]byte, error) {
+	return CompressOpts(data, Options{Level: level})
+}
+
+// CompressOpts produces a complete single-member gzip file.
+func CompressOpts(data []byte, o Options) ([]byte, error) {
+	if o.Level < 0 || o.Level > 9 {
+		return nil, fmt.Errorf("gzipx: level %d out of range [0,9]", o.Level)
+	}
+	payload, err := deflate.Compress(data, o.Level)
+	if err != nil {
+		return nil, err
+	}
+	flg := byte(0)
+	if o.Name != "" {
+		flg |= flgFNAME
+	}
+	out := make([]byte, 0, len(payload)+32+len(o.Name))
+	out = append(out, id1, id2, cmDeflate, flg,
+		0, 0, 0, 0, // MTIME: zero for determinism
+		xflForLevel(o.Level), 255 /* OS unknown */)
+	if o.Name != "" {
+		out = append(out, o.Name...)
+		out = append(out, 0)
+	}
+	out = append(out, payload...)
+	var tr [8]byte
+	binary.LittleEndian.PutUint32(tr[0:4], crc32.ChecksumIEEE(data))
+	binary.LittleEndian.PutUint32(tr[4:8], uint32(len(data)))
+	out = append(out, tr[:]...)
+	return out, nil
+}
+
+// Decompress inflates every member of a gzip file sequentially,
+// verifying each CRC-32 and ISIZE. This is the repository's
+// "gunzip role" baseline: exact, single-threaded, checksum-verified.
+func Decompress(data []byte) ([]byte, error) {
+	var out []byte
+	rest := data
+	for len(rest) > 0 {
+		m, err := ParseHeader(rest)
+		if err != nil {
+			return nil, err
+		}
+		payload := rest[m.HeaderLen:]
+		dec, spans, err := flate.DecompressRecorded(payload, 0, true)
+		if err != nil {
+			return nil, err
+		}
+		// Locate the trailer: the DEFLATE stream ends at the bit
+		// position recorded for the last block; round up to a byte.
+		if len(spans) == 0 {
+			return nil, ErrTruncated
+		}
+		endBit := spans[len(spans)-1].EndBit
+		endByte := int((endBit + 7) / 8)
+		if len(payload) < endByte+8 {
+			return nil, ErrTruncated
+		}
+		wantCRC := binary.LittleEndian.Uint32(payload[endByte:])
+		wantISize := binary.LittleEndian.Uint32(payload[endByte+4:])
+		if crc32.ChecksumIEEE(dec) != wantCRC {
+			return nil, ErrBadCRC
+		}
+		if uint32(len(dec)) != wantISize {
+			return nil, ErrBadISize
+		}
+		out = append(out, dec...)
+		rest = payload[endByte+8:]
+	}
+	return out, nil
+}
+
+// PayloadBounds returns the byte range [start,end) of the DEFLATE
+// stream of the first member of a gzip file, without decompressing.
+// For single-member files end is len(data)-8 (the trailer).
+func PayloadBounds(data []byte) (start, end int64, err error) {
+	m, err := ParseHeader(data)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(data) < m.HeaderLen+8 {
+		return 0, 0, ErrTruncated
+	}
+	return int64(m.HeaderLen), int64(len(data) - 8), nil
+}

@@ -1,0 +1,109 @@
+package gzipx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"repro/internal/bitio"
+	"repro/internal/deflate"
+)
+
+// DefaultParallelChunk is the input bytes compressed per goroutine
+// (pigz uses 128 KiB; a larger chunk costs less ratio because the LZ
+// window resets at every chunk boundary).
+const DefaultParallelChunk = 256 << 10
+
+// ParallelOptions tunes CompressParallel.
+type ParallelOptions struct {
+	Level   int
+	Threads int
+	// ChunkSize is the uncompressed bytes per independent chunk
+	// (default DefaultParallelChunk, minimum 32 KiB).
+	ChunkSize int
+	Name      string
+}
+
+// CompressParallel produces a gzip member using pigz-style parallel
+// compression: the input is cut into chunks, each chunk is deflated
+// independently (its own LZ window) and terminated with an empty
+// stored "sync" block so segments concatenate on byte boundaries; the
+// last segment carries BFINAL. The output is a perfectly ordinary
+// single-member gzip file — gunzip, the stdlib, and pugz all read it —
+// demonstrating the introduction's point that compression
+// parallelises easily while decompression does not.
+func CompressParallel(data []byte, o ParallelOptions) ([]byte, error) {
+	if o.Level < 0 || o.Level > 9 {
+		return nil, fmt.Errorf("gzipx: level %d out of range [0,9]", o.Level)
+	}
+	chunk := o.ChunkSize
+	if chunk <= 0 {
+		chunk = DefaultParallelChunk
+	}
+	if chunk < 32<<10 {
+		chunk = 32 << 10
+	}
+	threads := o.Threads
+	if threads < 1 {
+		threads = 1
+	}
+
+	nChunks := (len(data) + chunk - 1) / chunk
+	if nChunks == 0 {
+		nChunks = 1 // empty input still emits one (final) segment
+	}
+	segments := make([][]byte, nChunks)
+	errs := make([]error, threads)
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			for i := t; i < nChunks; i += threads {
+				start := i * chunk
+				end := start + chunk
+				if end > len(data) {
+					end = len(data)
+				}
+				w := bitio.NewWriter((end-start)/2 + 64)
+				final := i == nChunks-1
+				if err := deflate.CompressSegment(w, data[start:end], o.Level, final); err != nil {
+					errs[t] = err
+					return
+				}
+				segments[i] = w.Bytes()
+			}
+		}(t)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+
+	flg := byte(0)
+	if o.Name != "" {
+		flg |= flgFNAME
+	}
+	total := 10 + len(o.Name) + 8
+	for _, s := range segments {
+		total += len(s)
+	}
+	out := make([]byte, 0, total)
+	out = append(out, id1, id2, cmDeflate, flg,
+		0, 0, 0, 0,
+		xflForLevel(o.Level), 255)
+	if o.Name != "" {
+		out = append(out, o.Name...)
+		out = append(out, 0)
+	}
+	for _, s := range segments {
+		out = append(out, s...)
+	}
+	var tr [8]byte
+	binary.LittleEndian.PutUint32(tr[0:4], crc32.ChecksumIEEE(data))
+	binary.LittleEndian.PutUint32(tr[4:8], uint32(len(data)))
+	out = append(out, tr[:]...)
+	return out, nil
+}

@@ -1,0 +1,230 @@
+package huffman
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Code is one assigned canonical code: the bit-reversed value to write
+// LSB-first, and its length in bits. Len==0 means the symbol is unused.
+type Code struct {
+	Bits uint32
+	Len  uint8
+}
+
+// CanonicalCodes assigns canonical code values (already bit-reversed
+// for LSB-first emission) from per-symbol lengths. It is the encoder
+// dual of NewDecoder and performs the same Kraft validation.
+func CanonicalCodes(lengths []uint8) ([]Code, error) {
+	var count [MaxCodeLen + 1]int
+	total := 0
+	for _, l := range lengths {
+		if l > MaxCodeLen {
+			return nil, ErrBadLength
+		}
+		if l > 0 {
+			count[l]++
+			total++
+		}
+	}
+	if total == 0 {
+		return nil, ErrNoCodes
+	}
+	left := 1
+	for l := 1; l <= MaxCodeLen; l++ {
+		left <<= 1
+		left -= count[l]
+		if left < 0 {
+			return nil, ErrOversubscribed
+		}
+	}
+	var nextCode [MaxCodeLen + 1]uint32
+	code := uint32(0)
+	for l := 1; l <= MaxCodeLen; l++ {
+		code = (code + uint32(count[l-1])) << 1
+		nextCode[l] = code
+	}
+	codes := make([]Code, len(lengths))
+	for sym, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		codes[sym] = Code{Bits: reverseBits(nextCode[l], uint(l)), Len: l}
+		nextCode[l]++
+	}
+	return codes, nil
+}
+
+// hnode is a Huffman construction tree node.
+type hnode struct {
+	freq        int64
+	sym         int // leaf symbol, or -1 for internal
+	left, right int // child indices into the node arena
+	// tieOrder breaks frequency ties deterministically so the encoder
+	// output is reproducible across runs.
+	tieOrder int
+}
+
+type hheap struct {
+	arena *[]hnode
+	idx   []int
+}
+
+func (h hheap) Len() int { return len(h.idx) }
+func (h hheap) Less(i, j int) bool {
+	a, b := (*h.arena)[h.idx[i]], (*h.arena)[h.idx[j]]
+	if a.freq != b.freq {
+		return a.freq < b.freq
+	}
+	return a.tieOrder < b.tieOrder
+}
+func (h hheap) Swap(i, j int) { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *hheap) Push(x any)   { h.idx = append(h.idx, x.(int)) }
+func (h *hheap) Pop() any     { v := h.idx[len(h.idx)-1]; h.idx = h.idx[:len(h.idx)-1]; return v }
+
+// BuildLengths computes length-limited Huffman code lengths from symbol
+// frequencies. Symbols with zero frequency get length 0. If only one
+// symbol is used it receives length 1 (DEFLATE requires at least one
+// bit per coded symbol). When the optimal tree exceeds maxLen, lengths
+// are adjusted with the classic zlib overflow-repair strategy, which
+// preserves the Kraft equality (sum of 2^-len == 1).
+func BuildLengths(freqs []int64, maxLen uint8) ([]uint8, error) {
+	if maxLen == 0 || maxLen > MaxCodeLen {
+		return nil, fmt.Errorf("huffman: bad length limit %d", maxLen)
+	}
+	n := len(freqs)
+	lengths := make([]uint8, n)
+
+	arena := make([]hnode, 0, 2*n)
+	h := hheap{arena: &arena}
+	for sym, f := range freqs {
+		if f > 0 {
+			arena = append(arena, hnode{freq: f, sym: sym, left: -1, right: -1, tieOrder: sym})
+			h.idx = append(h.idx, len(arena)-1)
+		}
+	}
+	switch len(h.idx) {
+	case 0:
+		return lengths, nil
+	case 1:
+		lengths[arena[h.idx[0]].sym] = 1
+		return lengths, nil
+	}
+	heap.Init(&h)
+	order := n
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(int)
+		b := heap.Pop(&h).(int)
+		arena = append(arena, hnode{
+			freq:     arena[a].freq + arena[b].freq,
+			sym:      -1,
+			left:     a,
+			right:    b,
+			tieOrder: order,
+		})
+		order++
+		heap.Push(&h, len(arena)-1)
+	}
+	root := h.idx[0]
+
+	// Depth-first walk assigning depths; count per-depth leaves so the
+	// overflow repair can operate on the histogram. A Huffman tree over
+	// k leaves has depth < k, so size the histogram by the alphabet.
+	count := make([]int, n+2)
+	maxDepth := 0
+	type frame struct{ node, depth int }
+	stack := []frame{{root, 0}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := arena[f.node]
+		if nd.sym >= 0 {
+			d := f.depth
+			if d == 0 {
+				d = 1 // single-leaf tree handled above, defensive
+			}
+			count[d]++
+			if d > maxDepth {
+				maxDepth = d
+			}
+			lengths[nd.sym] = uint8(d) // may exceed maxLen; repaired below
+			continue
+		}
+		stack = append(stack, frame{nd.left, f.depth + 1}, frame{nd.right, f.depth + 1})
+	}
+
+	if maxDepth > int(maxLen) {
+		repairOverflow(count, maxDepth, int(maxLen))
+		// Reassign lengths: sort used symbols by (original length,
+		// frequency desc) and hand out the repaired histogram from
+		// shortest to longest. Shorter codes should go to more frequent
+		// symbols; we approximate zlib by ordering on frequency.
+		type symFreq struct {
+			sym  int
+			freq int64
+		}
+		used := make([]symFreq, 0, n)
+		for sym, f := range freqs {
+			if f > 0 {
+				used = append(used, symFreq{sym, f})
+			}
+		}
+		// Insertion sort by freq descending, then symbol ascending:
+		// deterministic and n is small (<=288).
+		for i := 1; i < len(used); i++ {
+			for j := i; j > 0; j-- {
+				a, b := used[j-1], used[j]
+				if a.freq > b.freq || (a.freq == b.freq && a.sym < b.sym) {
+					break
+				}
+				used[j-1], used[j] = b, a
+			}
+		}
+		k := 0
+		for l := 1; l <= int(maxLen); l++ {
+			for c := 0; c < count[l]; c++ {
+				lengths[used[k].sym] = uint8(l)
+				k++
+			}
+		}
+	}
+	return lengths, nil
+}
+
+// repairOverflow clamps leaves deeper than limit to limit and then
+// restores the Kraft equality (total code space exactly 2^limit) by
+// repeatedly removing one leaf from depth limit while splitting the
+// deepest shallower leaf into a pair — each step frees exactly one
+// unit of code space. This is the accounting-explicit form of zlib's
+// gen_bitlen repair.
+func repairOverflow(count []int, maxDepth, limit int) {
+	for d := limit + 1; d <= maxDepth; d++ {
+		count[limit] += count[d]
+		count[d] = 0
+	}
+	target := uint64(1) << limit
+	var total uint64
+	for l := 1; l <= limit; l++ {
+		total += uint64(count[l]) << (limit - l)
+	}
+	for total > target {
+		count[limit]--
+		found := false
+		for i := limit - 1; i > 0; i-- {
+			if count[i] > 0 {
+				count[i]--
+				count[i+1] += 2
+				found = true
+				break
+			}
+		}
+		if !found {
+			// No shallower leaf exists: the alphabet cannot fit under
+			// this limit at all (more than 2^limit used symbols). Leave
+			// the histogram inconsistent; CanonicalCodes will reject it.
+			count[limit]++
+			return
+		}
+		total--
+	}
+}

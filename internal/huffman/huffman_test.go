@@ -1,0 +1,397 @@
+package huffman
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitio"
+)
+
+// rfcExample is the canonical example from RFC 1951 section 3.2.2:
+// alphabet ABCDEFGH with lengths (3,3,3,3,3,2,4,4).
+func rfcExample() []uint8 { return []uint8{3, 3, 3, 3, 3, 2, 4, 4} }
+
+func TestCanonicalCodesRFCExample(t *testing.T) {
+	codes, err := CanonicalCodes(rfcExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RFC codes (MSB-first): A=010 B=011 C=100 D=101 E=110 F=00 G=1110 H=1111.
+	want := []struct {
+		code uint32
+		n    uint
+	}{
+		{0b010, 3}, {0b011, 3}, {0b100, 3}, {0b101, 3},
+		{0b110, 3}, {0b00, 2}, {0b1110, 4}, {0b1111, 4},
+	}
+	for sym, w := range want {
+		got := codes[sym]
+		if uint(got.Len) != w.n {
+			t.Fatalf("sym %d: len %d want %d", sym, got.Len, w.n)
+		}
+		if got.Bits != reverseBits(w.code, w.n) {
+			t.Fatalf("sym %d: bits %0*b want (reversed) %0*b", sym, w.n, got.Bits, w.n, reverseBits(w.code, w.n))
+		}
+	}
+}
+
+func TestDecoderRoundTrip(t *testing.T) {
+	lengths := rfcExample()
+	codes, err := CanonicalCodes(lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(lengths, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	w := bitio.NewWriter(1024)
+	var syms []int
+	for i := 0; i < 5000; i++ {
+		s := rng.Intn(len(lengths))
+		syms = append(syms, s)
+		w.WriteBits(codes[s].Bits, uint(codes[s].Len))
+	}
+	r := bitio.NewReader(w.Bytes())
+	for i, want := range syms {
+		got, err := dec.Decode(r)
+		if err != nil {
+			t.Fatalf("sym %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("sym %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestDecoderLongCodes(t *testing.T) {
+	// Force codes longer than primaryBits (9): a skewed set with
+	// lengths up to 15.
+	lengths := make([]uint8, 16)
+	// 1,2,3,...,14,15,15 is a valid Kraft-complete chain.
+	for i := 0; i < 15; i++ {
+		lengths[i] = uint8(i + 1)
+	}
+	lengths[15] = 15
+	codes, err := CanonicalCodes(lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(lengths, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.MaxLen() != 15 {
+		t.Fatalf("maxLen %d", dec.MaxLen())
+	}
+	w := bitio.NewWriter(256)
+	var syms []int
+	for s := 0; s < 16; s++ {
+		for rep := 0; rep < 3; rep++ {
+			syms = append(syms, s)
+			w.WriteBits(codes[s].Bits, uint(codes[s].Len))
+		}
+	}
+	r := bitio.NewReader(w.Bytes())
+	for i, want := range syms {
+		got, err := dec.Decode(r)
+		if err != nil {
+			t.Fatalf("sym %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("sym %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestOversubscribedRejected(t *testing.T) {
+	if _, err := NewDecoder([]uint8{1, 1, 1}, false); !errors.Is(err, ErrOversubscribed) {
+		t.Fatalf("want ErrOversubscribed, got %v", err)
+	}
+	if _, err := NewDecoder([]uint8{1, 1, 1}, true); !errors.Is(err, ErrOversubscribed) {
+		t.Fatal("allowIncomplete must not allow oversubscription")
+	}
+	if _, err := NewDecoder([]uint8{2, 2, 2, 2, 1}, false); !errors.Is(err, ErrOversubscribed) {
+		t.Fatalf("want ErrOversubscribed, got %v", err)
+	}
+}
+
+func TestIncompleteRules(t *testing.T) {
+	// Single 1-bit code: incomplete (half the space unused).
+	if _, err := NewDecoder([]uint8{1}, false); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("want ErrIncomplete, got %v", err)
+	}
+	d, err := NewDecoder([]uint8{1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Complete() {
+		t.Fatal("single-code set must be incomplete")
+	}
+	// Decoding the missing code must error.
+	w := bitio.NewWriter(4)
+	w.WriteBits(1, 1) // the unassigned half
+	if _, err := d.Decode(bitio.NewReader(w.Bytes())); !errors.Is(err, ErrInvalidCode) {
+		t.Fatalf("want ErrInvalidCode, got %v", err)
+	}
+	// The assigned code decodes.
+	w.Reset()
+	w.WriteBits(0, 1)
+	got, err := d.Decode(bitio.NewReader(w.Bytes()))
+	if err != nil || got != 0 {
+		t.Fatalf("got %d err %v", got, err)
+	}
+}
+
+func TestNoCodes(t *testing.T) {
+	if _, err := NewDecoder([]uint8{0, 0, 0}, true); !errors.Is(err, ErrNoCodes) {
+		t.Fatalf("want ErrNoCodes, got %v", err)
+	}
+	if _, err := NewDecoder(nil, true); !errors.Is(err, ErrNoCodes) {
+		t.Fatalf("want ErrNoCodes, got %v", err)
+	}
+}
+
+func TestBadLength(t *testing.T) {
+	if _, err := NewDecoder([]uint8{16}, true); !errors.Is(err, ErrBadLength) {
+		t.Fatalf("want ErrBadLength, got %v", err)
+	}
+}
+
+func TestTruncatedInput(t *testing.T) {
+	lengths := rfcExample()
+	dec, err := NewDecoder(lengths, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One bit of input cannot hold any code (min length 2).
+	w := bitio.NewWriter(1)
+	w.WriteBits(0, 1)
+	r, err := bitio.NewReaderAt(w.Bytes(), 7) // 1 bit left
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Decode(r); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestDecoderReuse(t *testing.T) {
+	// Init-ing the same Decoder with different code sets must fully
+	// replace the tables (the generation trick).
+	var d Decoder
+	setA := rfcExample()
+	if err := d.Init(setA, false); err != nil {
+		t.Fatal(err)
+	}
+	// A long-code set to allocate sub tables.
+	setB := make([]uint8, 16)
+	for i := 0; i < 15; i++ {
+		setB[i] = uint8(i + 1)
+	}
+	setB[15] = 15
+	if err := d.Init(setB, false); err != nil {
+		t.Fatal(err)
+	}
+	// Back to A; decode must behave exactly like a fresh decoder.
+	if err := d.Init(setA, false); err != nil {
+		t.Fatal(err)
+	}
+	codes, _ := CanonicalCodes(setA)
+	w := bitio.NewWriter(64)
+	for s := range setA {
+		w.WriteBits(codes[s].Bits, uint(codes[s].Len))
+	}
+	r := bitio.NewReader(w.Bytes())
+	for s := range setA {
+		got, err := d.Decode(r)
+		if err != nil || got != s {
+			t.Fatalf("sym %d: got %d err %v", s, got, err)
+		}
+	}
+}
+
+func kraftSum(lengths []uint8) float64 {
+	s := 0.0
+	for _, l := range lengths {
+		if l > 0 {
+			s += 1 / float64(int(1)<<l)
+		}
+	}
+	return s
+}
+
+func TestBuildLengthsBasic(t *testing.T) {
+	freqs := []int64{45, 13, 12, 16, 9, 5} // classic CLRS example
+	lengths, err := BuildLengths(freqs, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := kraftSum(lengths); got != 1.0 {
+		t.Fatalf("kraft %v", got)
+	}
+	// Optimal expected cost for this distribution is 2.24 bits/sym;
+	// verify total cost matches the optimal 224.
+	var cost int64
+	for i, f := range freqs {
+		cost += f * int64(lengths[i])
+	}
+	if cost != 224 {
+		t.Fatalf("cost %d, want 224", cost)
+	}
+}
+
+func TestBuildLengthsSingleSymbol(t *testing.T) {
+	lengths, err := BuildLengths([]int64{0, 7, 0}, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lengths[1] != 1 || lengths[0] != 0 || lengths[2] != 0 {
+		t.Fatalf("lengths %v", lengths)
+	}
+}
+
+func TestBuildLengthsEmpty(t *testing.T) {
+	lengths, err := BuildLengths([]int64{0, 0}, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range lengths {
+		if l != 0 {
+			t.Fatal("expected all-zero lengths")
+		}
+	}
+}
+
+func TestBuildLengthsDepthLimit(t *testing.T) {
+	// Fibonacci-like frequencies force deep optimal trees; the limiter
+	// must clamp to maxLen while preserving Kraft equality.
+	freqs := make([]int64, 20)
+	a, b := int64(1), int64(1)
+	for i := range freqs {
+		freqs[i] = a
+		a, b = b, a+b
+	}
+	for _, limit := range []uint8{7, 9, 15} {
+		lengths, err := BuildLengths(freqs, limit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for sym, l := range lengths {
+			if l > limit {
+				t.Fatalf("limit %d: symbol %d got length %d", limit, sym, l)
+			}
+			if freqs[sym] > 0 && l == 0 {
+				t.Fatalf("limit %d: used symbol %d has no code", limit, sym)
+			}
+		}
+		if got := kraftSum(lengths); got != 1.0 {
+			t.Fatalf("limit %d: kraft %v", limit, got)
+		}
+		if _, err := CanonicalCodes(lengths); err != nil {
+			t.Fatalf("limit %d: codes: %v", limit, err)
+		}
+	}
+}
+
+// Property: for arbitrary small frequency vectors, BuildLengths yields
+// a decodable, Kraft-tight, depth-limited code.
+func TestQuickBuildLengths(t *testing.T) {
+	f := func(raw []uint16, limitSel bool) bool {
+		if len(raw) == 0 || len(raw) > 286 {
+			return true
+		}
+		freqs := make([]int64, len(raw))
+		used := 0
+		for i, v := range raw {
+			freqs[i] = int64(v)
+			if v > 0 {
+				used++
+			}
+		}
+		limit := uint8(15)
+		if limitSel {
+			limit = 7
+		}
+		// With a 7-bit limit at most 128 symbols fit.
+		if limit == 7 && used > 128 {
+			return true
+		}
+		lengths, err := BuildLengths(freqs, limit)
+		if err != nil {
+			return false
+		}
+		switch used {
+		case 0:
+			return kraftSum(lengths) == 0
+		case 1:
+			return kraftSum(lengths) == 0.5
+		}
+		if kraftSum(lengths) != 1.0 {
+			return false
+		}
+		for i, l := range lengths {
+			if l > limit {
+				return false
+			}
+			if (freqs[i] > 0) != (l > 0) {
+				return false
+			}
+		}
+		_, err = NewDecoder(lengths, false)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: encode/decode round trip over random code sets.
+func TestQuickEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 100; iter++ {
+		n := 2 + rng.Intn(60)
+		freqs := make([]int64, n)
+		for i := range freqs {
+			freqs[i] = int64(rng.Intn(1000))
+		}
+		// Guarantee at least two used symbols.
+		freqs[0]++
+		freqs[n-1]++
+		lengths, err := BuildLengths(freqs, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		codes, err := CanonicalCodes(lengths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := NewDecoder(lengths, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := bitio.NewWriter(1024)
+		var syms []int
+		for i := 0; i < 200; i++ {
+			s := rng.Intn(n)
+			if lengths[s] == 0 {
+				continue
+			}
+			syms = append(syms, s)
+			w.WriteBits(codes[s].Bits, uint(codes[s].Len))
+		}
+		r := bitio.NewReader(w.Bytes())
+		for i, want := range syms {
+			got, err := dec.Decode(r)
+			if err != nil {
+				t.Fatalf("iter %d sym %d: %v", iter, i, err)
+			}
+			if got != want {
+				t.Fatalf("iter %d sym %d: got %d want %d", iter, i, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,322 @@
+// Package lz77 implements the LZ77 parsing stage of DEFLATE with
+// zlib's exact per-level policy: levels 1–3 use greedy parsing
+// (deflate_fast), levels 4–9 use lazy / non-greedy parsing
+// (deflate_slow, Algorithm 3 in the paper). The distinction is the
+// heart of Section V: greedy parsing of random DNA emits essentially
+// zero literals after the first window (making random access
+// impossible), while lazy parsing keeps emitting ~4 % literals,
+// which is what lets undetermined contexts resolve.
+package lz77
+
+import "fmt"
+
+const (
+	// WindowSize is the DEFLATE history window.
+	WindowSize = 32 * 1024
+	// MinMatch / MaxMatch bound match lengths.
+	MinMatch = 3
+	MaxMatch = 258
+	// tooFar: zlib discards length-3 matches at distances beyond this,
+	// because a far 3-byte match costs more bits than 3 literals.
+	tooFar = 4096
+
+	hashBits = 15
+	hashSize = 1 << hashBits
+	hashMask = hashSize - 1
+	// hashShift distributes three input bytes across hashBits.
+	hashShift = (hashBits + MinMatch - 1) / MinMatch
+
+	windowMask = WindowSize - 1
+)
+
+// Token is one parse element. Literals have Len == 0; matches carry
+// Len in [3,258] and Dist in [1,32768].
+type Token struct {
+	Lit  byte
+	Len  uint16
+	Dist uint16 // Dist-1 is stored so 32768 fits; use Distance()
+}
+
+// NewLiteral builds a literal token.
+func NewLiteral(b byte) Token { return Token{Lit: b} }
+
+// NewMatch builds a match token.
+func NewMatch(length, dist int) Token {
+	return Token{Len: uint16(length), Dist: uint16(dist - 1)}
+}
+
+// IsLiteral reports whether the token is a literal.
+func (t Token) IsLiteral() bool { return t.Len == 0 }
+
+// Length returns the match length (0 for literals).
+func (t Token) Length() int { return int(t.Len) }
+
+// Distance returns the match distance in [1,32768]; undefined for
+// literals.
+func (t Token) Distance() int { return int(t.Dist) + 1 }
+
+func (t Token) String() string {
+	if t.IsLiteral() {
+		return fmt.Sprintf("lit(%q)", t.Lit)
+	}
+	return fmt.Sprintf("match(len=%d,dist=%d)", t.Len, t.Distance())
+}
+
+// config mirrors zlib's configuration_table.
+type config struct {
+	good, lazy, nice, chain int
+	lazyParse               bool
+}
+
+var levels = [10]config{
+	0: {},                    // stored only, handled by caller
+	1: {4, 4, 8, 4, false},   // deflate_fast
+	2: {4, 5, 16, 8, false},  // deflate_fast
+	3: {4, 6, 32, 32, false}, // deflate_fast
+	4: {4, 4, 16, 16, true},  // deflate_slow from here on
+	5: {8, 16, 32, 32, true},
+	6: {8, 16, 128, 128, true}, // gzip default
+	7: {8, 32, 128, 256, true},
+	8: {32, 128, 258, 1024, true},
+	9: {32, 258, 258, 4096, true}, // gzip --best
+}
+
+// LazyAtLevel reports whether gzip uses non-greedy parsing at level
+// (true for 4..9, matching "always used except -1, -2, -3").
+func LazyAtLevel(level int) bool {
+	return level >= 4 && level <= 9
+}
+
+// Parser carries the hash-chain state. One Parser per goroutine.
+type Parser struct {
+	head [hashSize]int32
+	prev [WindowSize]int32
+	cfg  config
+}
+
+// NewParser returns a Parser for the given compression level (1..9).
+func NewParser(level int) (*Parser, error) {
+	if level < 1 || level > 9 {
+		return nil, fmt.Errorf("lz77: level %d out of range [1,9]", level)
+	}
+	p := &Parser{cfg: levels[level]}
+	p.reset()
+	return p, nil
+}
+
+func (p *Parser) reset() {
+	for i := range p.head {
+		p.head[i] = -1
+	}
+	for i := range p.prev {
+		p.prev[i] = -1
+	}
+}
+
+func hash3(a, b, c byte) uint32 {
+	h := uint32(a)
+	h = (h<<hashShift ^ uint32(b)) & hashMask
+	h = (h<<hashShift ^ uint32(c)) & hashMask
+	return h
+}
+
+// insert records position pos (which must have 3 readable bytes) in
+// the hash chains.
+func (p *Parser) insert(data []byte, pos int) {
+	h := hash3(data[pos], data[pos+1], data[pos+2])
+	p.prev[pos&windowMask] = p.head[h]
+	p.head[h] = int32(pos)
+}
+
+// longestMatch searches the chain for the longest match at pos,
+// mirroring zlib's longest_match: bounded chain walk, good_match chain
+// reduction, nice_match early exit, and window-distance limits.
+// prevLength is the length of the match found at pos-1 (lazy parsing);
+// only strictly longer matches are interesting then.
+func (p *Parser) longestMatch(data []byte, pos, prevLength int) (length, dist int) {
+	cfg := p.cfg
+	chainLen := cfg.chain
+	if prevLength >= cfg.good {
+		chainLen >>= 2
+	}
+	limit := pos - WindowSize // matches must start after this
+	maxLen := len(data) - pos
+	if maxLen > MaxMatch {
+		maxLen = MaxMatch
+	}
+	if maxLen < MinMatch {
+		return 0, 0
+	}
+	nice := cfg.nice
+	if nice > maxLen {
+		nice = maxLen
+	}
+
+	bestLen := prevLength // only improvements count
+	if bestLen < MinMatch-1 {
+		bestLen = MinMatch - 1
+	}
+	bestPos := -1
+
+	h := hash3(data[pos], data[pos+1], data[pos+2])
+	cand := int(p.head[h])
+	for cand >= 0 && cand > limit && chainLen > 0 {
+		chainLen--
+		// Quick reject: compare the byte that would extend bestLen.
+		if cand+bestLen < len(data) && pos+bestLen < len(data) &&
+			data[cand+bestLen] != data[pos+bestLen] {
+			cand = int(p.prev[cand&windowMask])
+			continue
+		}
+		l := matchLen(data, cand, pos, maxLen)
+		if l > bestLen {
+			bestLen = l
+			bestPos = cand
+			if l >= nice {
+				break
+			}
+		}
+		cand = int(p.prev[cand&windowMask])
+	}
+	if bestPos < 0 || bestLen < MinMatch {
+		return 0, 0
+	}
+	return bestLen, pos - bestPos
+}
+
+// matchLen counts equal bytes at a vs b, up to maxLen.
+func matchLen(data []byte, a, b, maxLen int) int {
+	n := 0
+	for n < maxLen && data[a+n] == data[b+n] {
+		n++
+	}
+	return n
+}
+
+// Parse tokenises data. The emit callback receives each token in
+// stream order; returning a non-nil error aborts parsing.
+func (p *Parser) Parse(data []byte, emit func(Token) error) error {
+	if p.cfg.lazyParse {
+		return p.parseLazy(data, emit)
+	}
+	return p.parseGreedy(data, emit)
+}
+
+// ParseAll is Parse collecting into a slice.
+func (p *Parser) ParseAll(data []byte) []Token {
+	est := len(data) / 4
+	if est < 16 {
+		est = 16
+	}
+	out := make([]Token, 0, est)
+	_ = p.Parse(data, func(t Token) error { out = append(out, t); return nil })
+	return out
+}
+
+// parseGreedy is zlib's deflate_fast: take the first acceptable
+// longest match at each position.
+func (p *Parser) parseGreedy(data []byte, emit func(Token) error) error {
+	p.reset()
+	pos := 0
+	for pos < len(data) {
+		length, dist := 0, 0
+		if pos+MinMatch <= len(data) {
+			length, dist = p.longestMatch(data, pos, 0)
+			if length == MinMatch && dist > tooFar {
+				length, dist = 0, 0
+			}
+		}
+		if length >= MinMatch {
+			if err := emit(NewMatch(length, dist)); err != nil {
+				return err
+			}
+			// Insert hash entries for covered positions when the match
+			// is short enough (zlib: length <= max_insert == lazy).
+			if length <= p.cfg.lazy && pos+length+MinMatch <= len(data) {
+				for i := 0; i < length; i++ {
+					if pos+i+MinMatch <= len(data) {
+						p.insert(data, pos+i)
+					}
+				}
+			} else if pos+MinMatch <= len(data) {
+				p.insert(data, pos)
+			}
+			pos += length
+		} else {
+			if err := emit(NewLiteral(data[pos])); err != nil {
+				return err
+			}
+			if pos+MinMatch <= len(data) {
+				p.insert(data, pos)
+			}
+			pos++
+		}
+	}
+	return nil
+}
+
+// parseLazy is zlib's deflate_slow / the paper's Algorithm 3
+// (non-greedy parsing): a match at pos is only emitted if the match at
+// pos+1 is not strictly longer; otherwise the byte at pos becomes a
+// literal and parsing re-decides at pos+1. These extra literals are
+// exactly the E_l of Section V-C.
+func (p *Parser) parseLazy(data []byte, emit func(Token) error) error {
+	p.reset()
+	pos := 0
+	prevLength := 0
+	prevDist := 0
+	matchAvailable := false // a pending byte at pos-1 not yet emitted
+
+	for pos < len(data) {
+		length, dist := 0, 0
+		// zlib only attempts the lazy search while the pending match is
+		// shorter than max_lazy; beyond that the pending match is
+		// emitted without looking for a better one.
+		if pos+MinMatch <= len(data) && prevLength < p.cfg.lazy {
+			length, dist = p.longestMatch(data, pos, prevLength)
+			if length == MinMatch && dist > tooFar {
+				// Too-far 3-byte matches are not worth it.
+				length, dist = 0, 0
+			}
+		}
+		if pos+MinMatch <= len(data) {
+			p.insert(data, pos)
+		}
+
+		if prevLength >= MinMatch && length <= prevLength {
+			// The previous position's match wins: emit it now.
+			if err := emit(NewMatch(prevLength, prevDist)); err != nil {
+				return err
+			}
+			// Insert hash entries for the remaining covered positions
+			// (pos itself was inserted above; cover pos+1 .. end-1).
+			end := pos - 1 + prevLength // last covered position + 1... see below
+			for i := pos + 1; i < end; i++ {
+				if i+MinMatch <= len(data) {
+					p.insert(data, i)
+				}
+			}
+			pos = end
+			prevLength = 0
+			matchAvailable = false
+			continue
+		}
+
+		if matchAvailable {
+			// No previous match to honour; the byte at pos-1 is a
+			// literal (this is the "+1 literal" of non-greedy parsing).
+			if err := emit(NewLiteral(data[pos-1])); err != nil {
+				return err
+			}
+		}
+		prevLength, prevDist = length, dist
+		matchAvailable = true
+		pos++
+	}
+	if matchAvailable {
+		if err := emit(NewLiteral(data[len(data)-1])); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,293 @@
+package lz77
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// reconstruct replays a token stream back into bytes.
+func reconstruct(tokens []Token) []byte {
+	var out []byte
+	for _, t := range tokens {
+		if t.IsLiteral() {
+			out = append(out, t.Lit)
+			continue
+		}
+		src := len(out) - t.Distance()
+		for i := 0; i < t.Length(); i++ {
+			out = append(out, out[src+i])
+		}
+	}
+	return out
+}
+
+func corpora(seed int64) map[string][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	dna := make([]byte, 200_000)
+	for i := range dna {
+		dna[i] = "ACGT"[rng.Intn(4)]
+	}
+	text := bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog. "), 3000)
+	mixed := make([]byte, 100_000)
+	rng.Read(mixed)
+	return map[string][]byte{
+		"dna":    dna,
+		"text":   text,
+		"random": mixed,
+		"runs":   bytes.Repeat([]byte{'x'}, 150_000),
+		"empty":  {},
+		"tiny":   []byte("ab"),
+	}
+}
+
+func TestParseReconstructsInput(t *testing.T) {
+	for name, data := range corpora(1) {
+		for level := 1; level <= 9; level++ {
+			p, err := NewParser(level)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tokens := p.ParseAll(data)
+			got := reconstruct(tokens)
+			if !bytes.Equal(got, data) {
+				t.Fatalf("%s level %d: reconstruction mismatch (%d vs %d bytes)",
+					name, level, len(got), len(data))
+			}
+		}
+	}
+}
+
+func TestTokenBounds(t *testing.T) {
+	for name, data := range corpora(2) {
+		for _, level := range []int{1, 6, 9} {
+			p, _ := NewParser(level)
+			pos := 0
+			err := p.Parse(data, func(tok Token) error {
+				if tok.IsLiteral() {
+					pos++
+					return nil
+				}
+				if tok.Length() < MinMatch || tok.Length() > MaxMatch {
+					t.Fatalf("%s level %d: match length %d out of range", name, level, tok.Length())
+				}
+				if tok.Distance() < 1 || tok.Distance() > WindowSize {
+					t.Fatalf("%s level %d: distance %d out of range", name, level, tok.Distance())
+				}
+				if tok.Distance() > pos {
+					t.Fatalf("%s level %d: distance %d reaches before start (pos %d)", name, level, tok.Distance(), pos)
+				}
+				pos += tok.Length()
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestLazyAtLevel(t *testing.T) {
+	for level := 1; level <= 3; level++ {
+		if LazyAtLevel(level) {
+			t.Fatalf("level %d should be greedy", level)
+		}
+	}
+	for level := 4; level <= 9; level++ {
+		if !LazyAtLevel(level) {
+			t.Fatalf("level %d should be lazy", level)
+		}
+	}
+}
+
+func TestBadLevels(t *testing.T) {
+	for _, level := range []int{-1, 0, 10} {
+		if _, err := NewParser(level); err == nil {
+			t.Fatalf("level %d accepted", level)
+		}
+	}
+}
+
+// countLiterals returns the literal count excluding the first
+// windowSize output bytes (where literals are structural).
+func countLiterals(tokens []Token, skip int) (lits, bytes int) {
+	pos := 0
+	for _, tok := range tokens {
+		n := 1
+		if !tok.IsLiteral() {
+			n = tok.Length()
+		}
+		if pos >= skip {
+			if tok.IsLiteral() {
+				lits++
+			}
+			bytes += n
+		}
+		pos += n
+	}
+	return lits, bytes
+}
+
+// TestGreedyLiteralStarvation is Section V-A's phenomenon: greedy
+// parsing of random DNA emits (essentially) zero literals once the
+// window is primed, while lazy parsing keeps emitting a few percent —
+// Section V-C predicts ~4 %.
+func TestGreedyLiteralStarvation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dna := make([]byte, 500_000)
+	for i := range dna {
+		dna[i] = "ACGT"[rng.Intn(4)]
+	}
+
+	greedy, _ := NewParser(1)
+	gl, gb := countLiterals(greedy.ParseAll(dna), WindowSize)
+	gFrac := float64(gl) / float64(gb)
+	if gFrac > 0.001 {
+		t.Errorf("greedy literal fraction %.5f, want ~0 (Section V-A)", gFrac)
+	}
+
+	lazy, _ := NewParser(6)
+	ll, lb := countLiterals(lazy.ParseAll(dna), WindowSize)
+	lFrac := float64(ll) / float64(lb)
+	if lFrac < 0.02 || lFrac > 0.08 {
+		t.Errorf("lazy literal fraction %.4f, want a few percent (model L1 ≈ 0.04)", lFrac)
+	}
+}
+
+// TestLazyPrefersLongerMatch pins Algorithm 3 on a hand-crafted case:
+// with "abc" and "bcde" both seen before, greedy at 'a' takes the
+// 3-match "abc", lazy emits literal 'a' and the longer 4-match "bcde".
+func TestLazyPrefersLongerMatch(t *testing.T) {
+	// Layout: "abcx" then "bcdey" then "abcde".
+	input := []byte("abcx_bcdey_abcde")
+	greedy, _ := NewParser(1)
+	lazy, _ := NewParser(4)
+
+	gTokens := greedy.ParseAll(input)
+	lTokens := lazy.ParseAll(input)
+	if !bytes.Equal(reconstruct(gTokens), input) || !bytes.Equal(reconstruct(lTokens), input) {
+		t.Fatal("reconstruction failed")
+	}
+
+	// Find how the final "abcde" got encoded: locate tokens covering
+	// positions >= 11.
+	encoding := func(tokens []Token) []Token {
+		pos := 0
+		var out []Token
+		for _, tok := range tokens {
+			n := 1
+			if !tok.IsLiteral() {
+				n = tok.Length()
+			}
+			if pos >= 11 {
+				out = append(out, tok)
+			}
+			pos += n
+		}
+		return out
+	}
+	g := encoding(gTokens)
+	l := encoding(lTokens)
+	// Greedy: match "abc" (len 3) then something for "de".
+	if len(g) == 0 || g[0].IsLiteral() || g[0].Length() != 3 {
+		t.Fatalf("greedy encoding unexpected: %v", g)
+	}
+	// Lazy: literal 'a' then match "bcde" (len 4).
+	if len(l) < 2 || !l[0].IsLiteral() || l[0].Lit != 'a' {
+		t.Fatalf("lazy should emit literal 'a' first: %v", l)
+	}
+	if l[1].IsLiteral() || l[1].Length() != 4 {
+		t.Fatalf("lazy should match 4 bytes after the literal: %v", l)
+	}
+}
+
+// TestTooFarShortMatchesDropped: a 3-byte match at distance > 4096 is
+// not worth its encoding cost and must be emitted as literals (lazy
+// parser).
+func TestTooFarShortMatchesDropped(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// "xyz" at position 0, noise for 8000 bytes (alphabet disjoint
+	// from xyz so no accidental matches), then "xyz" again.
+	input := []byte("xyz")
+	for i := 0; i < 8000; i++ {
+		input = append(input, "ABCDEFGH"[rng.Intn(8)])
+	}
+	input = append(input, 'x', 'y', 'z')
+
+	p, _ := NewParser(6)
+	tokens := p.ParseAll(input)
+	if !bytes.Equal(reconstruct(tokens), input) {
+		t.Fatal("reconstruction failed")
+	}
+	// The trailing "xyz" must be literals, not a match back to pos 0.
+	tail := tokens[len(tokens)-3:]
+	for _, tok := range tail {
+		if !tok.IsLiteral() {
+			t.Fatalf("trailing xyz should be literals (TOO_FAR), got %v", tok)
+		}
+	}
+}
+
+// TestWindowLimit: matches never reach beyond 32 KiB even when a
+// better occurrence exists farther back.
+func TestWindowLimit(t *testing.T) {
+	pattern := []byte("GATTACAGATTACAGATTACA!")
+	input := append([]byte{}, pattern...)
+	// 40 KiB of low-redundancy filler (> window).
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 40*1024; i++ {
+		input = append(input, "0123456789abcdef"[rng.Intn(16)])
+	}
+	input = append(input, pattern...)
+	for _, level := range []int{1, 6, 9} {
+		p, _ := NewParser(level)
+		tokens := p.ParseAll(input)
+		if !bytes.Equal(reconstruct(tokens), input) {
+			t.Fatalf("level %d: reconstruction failed", level)
+		}
+	}
+}
+
+func TestQuickParseRoundTrip(t *testing.T) {
+	for _, level := range []int{1, 4, 6, 9} {
+		level := level
+		f := func(data []byte) bool {
+			p, err := NewParser(level)
+			if err != nil {
+				return false
+			}
+			return bytes.Equal(reconstruct(p.ParseAll(data)), data)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+	}
+}
+
+// TestQuickSmallAlphabet stresses overlapping matches (RLE-ish input).
+func TestQuickSmallAlphabet(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for iter := 0; iter < 60; iter++ {
+		n := rng.Intn(3000)
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = "ab"[rng.Intn(2)]
+		}
+		for _, level := range []int{1, 6} {
+			p, _ := NewParser(level)
+			if !bytes.Equal(reconstruct(p.ParseAll(data)), data) {
+				t.Fatalf("iter %d level %d: mismatch", iter, level)
+			}
+		}
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	if s := NewLiteral('A').String(); s != `lit('A')` {
+		t.Fatalf("got %s", s)
+	}
+	if s := NewMatch(5, 100).String(); s != "match(len=5,dist=100)" {
+		t.Fatalf("got %s", s)
+	}
+}

@@ -1,0 +1,103 @@
+// Package model implements the analytical models of Section V: the
+// match-probability model for random DNA (V-A), the literal-emission
+// model under non-greedy parsing (V-C), and the arithmetic-progression
+// model for context resolution across blocks (the "model" line in
+// Figure 2).
+package model
+
+import "math"
+
+// DefaultWindow is W, the DEFLATE context size used throughout the
+// paper's models.
+const DefaultWindow = 32768
+
+// PMatch returns p_k: the probability that a match of length k occurs
+// at a given position of a W-sized block of uniform random DNA,
+// against an independent W-sized predecessor block, via the Poisson
+// approximation of Section V-A:
+//
+//	p_k = 1 - (1 - 4^-k)^(W-k+1) ≈ 1 - exp(-4^-k (W-k+1))
+func PMatch(k int, w int) float64 {
+	if k <= 0 || k > w {
+		return 0
+	}
+	lambda := math.Pow(4, -float64(k)) * float64(w-k+1)
+	return 1 - math.Exp(-lambda)
+}
+
+// PAllPositionsMatch returns p_k^(W-k+1): the probability every
+// position of the second block has a length-k match. For k=3 and
+// W=2^15 this is 1 to within 10^-220 — the Section V-A argument that
+// greedy parsing can encode random DNA with zero literals.
+func PAllPositionsMatch(k int, w int) float64 {
+	return math.Pow(PMatch(k, w), float64(w-k+1))
+}
+
+// PLiteral returns p_l: the probability that non-greedy parsing emits
+// a literal at a given position (Section V-C):
+//
+//	p_l = Σ_{k≥3} p_k (1 - p_{k+1}) p_{k+1}
+//
+// where p_k(1-p_{k+1}) is the probability the current position's
+// maximal match has length exactly k, and the trailing p_{k+1} is the
+// probability the *next* position has a strictly longer match
+// (triggering the literal of Algorithm 3). The sum converges after a
+// few dozen terms; we cut off when terms vanish.
+func PLiteral(w int) float64 {
+	sum := 0.0
+	for k := 3; k <= 64; k++ {
+		pk := PMatch(k, w)
+		pk1 := PMatch(k+1, w)
+		term := pk * (1 - pk1) * pk1
+		sum += term
+		if pk < 1e-12 {
+			break
+		}
+	}
+	return sum
+}
+
+// ExpectedLiterals returns E_l, the expected number of literals per
+// W-block of random DNA under non-greedy parsing, given the average
+// match length l_a (experimentally ~7.6 for W=2^15):
+//
+//	E_l = p_l * W / (l_a + 2)
+//
+// Intuition (paper): only about one in l_a+1 positions starts a new
+// parse decision, and each non-greedy literal displaces one more.
+func ExpectedLiterals(w int, la float64) float64 {
+	return PLiteral(w) * float64(w) / (la + 2)
+}
+
+// L1 returns the first-block literal fraction L_1 = E_l / W.
+func L1(w int, la float64) float64 {
+	return ExpectedLiterals(w, la) / float64(w)
+}
+
+// LBlock returns L_i, the fraction of block i (1-based) consisting of
+// literals or copies of literals, under the arithmetic progression of
+// Section V-C:
+//
+//	L_{i+1} = (E_l + (W - E_l) L_i)/W  =>  L_i = 1 - (1 - L_1)^i
+func LBlock(i int, l1 float64) float64 {
+	if i <= 0 {
+		return 0
+	}
+	return 1 - math.Pow(1-l1, float64(i))
+}
+
+// UndeterminedFrac returns 1 - L_i: the expected fraction of
+// undetermined characters remaining in window i after a random-access
+// decompression of random DNA — the "model" curve of Figure 2 (top).
+func UndeterminedFrac(i int, l1 float64) float64 {
+	return 1 - LBlock(i, l1)
+}
+
+// ModelCurve evaluates UndeterminedFrac for windows 1..n.
+func ModelCurve(n int, l1 float64) []float64 {
+	out := make([]float64, n)
+	for i := 1; i <= n; i++ {
+		out[i-1] = UndeterminedFrac(i, l1)
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPMatchKnownValues(t *testing.T) {
+	// For k=3, W=2^15: p_k should be astronomically close to 1
+	// (the paper: >= 1 - 10^-225).
+	if p := PMatch(3, DefaultWindow); p != 1.0 {
+		t.Fatalf("p_3 = %v (float should round to exactly 1)", p)
+	}
+	// Large k: essentially zero.
+	if p := PMatch(30, DefaultWindow); p > 1e-9 {
+		t.Fatalf("p_30 = %v", p)
+	}
+	// Out-of-range arguments.
+	if PMatch(0, DefaultWindow) != 0 || PMatch(-1, DefaultWindow) != 0 {
+		t.Fatal("k<=0 must give 0")
+	}
+	if PMatch(DefaultWindow+1, DefaultWindow) != 0 {
+		t.Fatal("k>W must give 0")
+	}
+}
+
+func TestPMatchMonotonicInK(t *testing.T) {
+	prev := 1.1
+	for k := 1; k <= 30; k++ {
+		p := PMatch(k, DefaultWindow)
+		if p > prev {
+			t.Fatalf("p_k not non-increasing at k=%d: %v > %v", k, p, prev)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("p_%d = %v out of [0,1]", k, p)
+		}
+		prev = p
+	}
+}
+
+func TestPMatchGrowsWithWindow(t *testing.T) {
+	if PMatch(8, 1<<15) <= PMatch(8, 1<<12) {
+		t.Fatal("larger window must raise match probability")
+	}
+}
+
+func TestPLiteralValue(t *testing.T) {
+	// The paper's chain: p_l ~ 0.37 for W=2^15 (so that
+	// E_l = p_l*W/(7.6+2) ≈ 1283 => p_l ≈ 1283*9.6/32768 ≈ 0.376).
+	pl := PLiteral(DefaultWindow)
+	if pl < 0.30 || pl < 0 || pl > 0.45 {
+		t.Fatalf("p_l = %v, want ≈0.37", pl)
+	}
+}
+
+func TestExpectedLiteralsPaperValue(t *testing.T) {
+	// Paper: W=2^15, l_a=7.6 => E_l ≈ 1283 and L_1 ≈ 4%.
+	el := ExpectedLiterals(DefaultWindow, 7.6)
+	if el < 1100 || el > 1400 {
+		t.Fatalf("E_l = %v, paper says ≈1283", el)
+	}
+	l1 := L1(DefaultWindow, 7.6)
+	if l1 < 0.034 || l1 > 0.043 {
+		t.Fatalf("L_1 = %v, paper says ≈4%%", l1)
+	}
+}
+
+func TestLBlockProgression(t *testing.T) {
+	// L_i must satisfy the recurrence L_{i+1} = L_1 + (1-L_1) L_i and
+	// the closed form 1-(1-L_1)^i.
+	l1 := 0.04
+	for i := 1; i < 100; i++ {
+		li := LBlock(i, l1)
+		next := LBlock(i+1, l1)
+		rec := l1 + (1-l1)*li
+		if math.Abs(next-rec) > 1e-12 {
+			t.Fatalf("recurrence violated at i=%d: %v vs %v", i, next, rec)
+		}
+	}
+	if LBlock(0, l1) != 0 || LBlock(-3, l1) != 0 {
+		t.Fatal("i<=0 must give 0")
+	}
+	if got := LBlock(1, l1); math.Abs(got-l1) > 1e-12 {
+		t.Fatalf("L_1 = %v, want %v", got, l1)
+	}
+}
+
+func TestUndeterminedFracDecaysExponentially(t *testing.T) {
+	l1 := L1(DefaultWindow, 7.6)
+	// After ~150 windows at L1≈4%, the undetermined fraction should be
+	// essentially gone — matching Figure 2's "vanishes around 150
+	// windows" observation.
+	if f := UndeterminedFrac(150, l1); f > 0.01 {
+		t.Fatalf("fraction at window 150 = %v, expected < 1%%", f)
+	}
+	if f := UndeterminedFrac(1, l1); f < 0.9 {
+		t.Fatalf("fraction at window 1 = %v, expected ≈0.96", f)
+	}
+}
+
+func TestModelCurve(t *testing.T) {
+	c := ModelCurve(10, 0.1)
+	if len(c) != 10 {
+		t.Fatal("length")
+	}
+	for i := 1; i < len(c); i++ {
+		if c[i] >= c[i-1] {
+			t.Fatal("curve must be strictly decreasing")
+		}
+	}
+	if math.Abs(c[0]-0.9) > 1e-12 {
+		t.Fatalf("first point %v", c[0])
+	}
+}
+
+func TestPAllPositionsMatch(t *testing.T) {
+	// k=3: probability all positions match is ~1 (the Section V-A
+	// claim that greedy needs no literals).
+	if p := PAllPositionsMatch(3, DefaultWindow); p < 0.999999 {
+		t.Fatalf("P(all match, k=3) = %v", p)
+	}
+	// Long k: essentially 0.
+	if p := PAllPositionsMatch(12, DefaultWindow); p > 1e-6 {
+		t.Fatalf("P(all match, k=12) = %v", p)
+	}
+}
+
+func TestQuickProbabilityBounds(t *testing.T) {
+	f := func(k uint8, l1Raw uint16, i uint8) bool {
+		kk := int(k%40) + 1
+		p := PMatch(kk, DefaultWindow)
+		if p < 0 || p > 1 {
+			return false
+		}
+		l1 := float64(l1Raw) / 65536 // [0,1)
+		li := LBlock(int(i%200)+1, l1)
+		return li >= 0 && li <= 1 && UndeterminedFrac(int(i%200)+1, l1) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,180 @@
+// Package stats provides the small numeric and formatting helpers the
+// experiment harness uses: streaming mean/stddev, throughput
+// formatting, and fixed-width text tables that mirror the paper's
+// presentation.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Acc is a streaming mean/variance accumulator (Welford).
+type Acc struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation in.
+func (a *Acc) Add(x float64) {
+	if a.n == 0 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the observation count.
+func (a *Acc) N() int64 { return a.n }
+
+// Mean returns the running mean (0 when empty).
+func (a *Acc) Mean() float64 { return a.mean }
+
+// Std returns the sample standard deviation (0 for n < 2).
+func (a *Acc) Std() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return math.Sqrt(a.m2 / float64(a.n-1))
+}
+
+// Min and Max return the extremes (0 when empty).
+func (a *Acc) Min() float64 { return a.min }
+func (a *Acc) Max() float64 { return a.max }
+
+// MeanStd renders "m ± s" with the given precision, the format of the
+// paper's Table I cells.
+func (a *Acc) MeanStd(prec int) string {
+	return fmt.Sprintf("%.*f ± %.*f", prec, a.Mean(), prec, a.Std())
+}
+
+// MBPerSec converts a byte count over a duration to MB/s (decimal
+// megabytes, as in the paper's Table II).
+func MBPerSec(bytes int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / 1e6 / d.Seconds()
+}
+
+// MB renders a byte count in decimal megabytes.
+func MB(bytes int64) float64 { return float64(bytes) / 1e6 }
+
+// Table is a minimal fixed-width text table writer.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; values are rendered with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Series renders an (x, y) series as aligned columns, the harness's
+// stand-in for a figure: each experiment prints the numbers a plot
+// would show.
+func Series(name string, xs []float64, ys []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# series: %s\n", name)
+	for i := range xs {
+		if i < len(ys) {
+			fmt.Fprintf(&b, "%12.4f %12.6f\n", xs[i], ys[i])
+		}
+	}
+	return b.String()
+}
+
+// Sparkline renders ys as a coarse unicode sparkline, handy for
+// eyeballing figure shapes in terminal output.
+func Sparkline(ys []float64) string {
+	if len(ys) == 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := ys[0], ys[0]
+	for _, y := range ys {
+		if y < lo {
+			lo = y
+		}
+		if y > hi {
+			hi = y
+		}
+	}
+	span := hi - lo
+	var b strings.Builder
+	for _, y := range ys {
+		idx := 0
+		if span > 0 {
+			idx = int((y - lo) / span * float64(len(levels)-1))
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAccKnownValues(t *testing.T) {
+	var a Acc
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("n %d", a.N())
+	}
+	if a.Mean() != 5 {
+		t.Fatalf("mean %f", a.Mean())
+	}
+	// Sample std of this classic set: sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(a.Std()-want) > 1e-12 {
+		t.Fatalf("std %f want %f", a.Std(), want)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("min/max %f %f", a.Min(), a.Max())
+	}
+}
+
+func TestAccDegenerate(t *testing.T) {
+	var a Acc
+	if a.Mean() != 0 || a.Std() != 0 || a.N() != 0 {
+		t.Fatal("empty accumulator")
+	}
+	a.Add(42)
+	if a.Std() != 0 {
+		t.Fatal("single observation std must be 0")
+	}
+	if a.Mean() != 42 || a.Min() != 42 || a.Max() != 42 {
+		t.Fatal("single observation stats")
+	}
+}
+
+func TestAccMatchesNaive(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true // skip pathological floats
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var a Acc
+		var sum float64
+		for _, x := range xs {
+			a.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		naiveStd := math.Sqrt(ss / float64(len(xs)-1))
+		scale := math.Max(1, math.Abs(mean))
+		return math.Abs(a.Mean()-mean) < 1e-6*scale &&
+			math.Abs(a.Std()-naiveStd) < 1e-6*math.Max(1, naiveStd)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanStdFormat(t *testing.T) {
+	var a Acc
+	a.Add(1)
+	a.Add(3)
+	if got := a.MeanStd(1); got != "2.0 ± 1.4" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestMBPerSec(t *testing.T) {
+	if v := MBPerSec(10_000_000, time.Second); v != 10 {
+		t.Fatalf("got %f", v)
+	}
+	if v := MBPerSec(100, 0); v != 0 {
+		t.Fatal("zero duration must give 0")
+	}
+	if MB(2_500_000) != 2.5 {
+		t.Fatal("MB conversion")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("name", "value")
+	tbl.AddRow("alpha", 1)
+	tbl.AddRow("a-longer-name", 3.14159)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "3.14") {
+		t.Fatalf("float formatting: %q", lines[3])
+	}
+	// Columns aligned: both data rows have "value" column at the same
+	// offset as the header's.
+	col := strings.Index(lines[0], "value")
+	if lines[2][col] == ' ' && lines[3][col] == ' ' {
+		t.Fatal("column alignment broken")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	out := Series("test", []float64{1, 2}, []float64{0.5, 0.25})
+	if !strings.Contains(out, "# series: test") {
+		t.Fatal("missing header")
+	}
+	if strings.Count(out, "\n") != 3 {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Fatal("empty input")
+	}
+	s := Sparkline([]float64{0, 1})
+	runes := []rune(s)
+	if len(runes) != 2 || runes[0] == runes[1] {
+		t.Fatalf("got %q", s)
+	}
+	// Constant series: all the same level, no panic on zero span.
+	s = Sparkline([]float64{5, 5, 5})
+	runes = []rune(s)
+	if len(runes) != 3 || runes[0] != runes[1] {
+		t.Fatalf("constant series: %q", s)
+	}
+}

@@ -1,0 +1,291 @@
+// Package tracked implements decompression with an undetermined
+// context (Sections IV-B and VI-C of the paper).
+//
+// When decoding starts mid-stream, the 32 KiB history window that
+// back-references reach into is unknown. Instead of a plain '?'
+// character, the window is seeded with 32768 *unique* symbols
+// U_0..U_32767 (the paper's ŵ). Decoding then proceeds normally:
+// literals append resolved bytes, matches copy whatever the window
+// holds — possibly symbols. The output is a sequence over the alphabet
+// bytes ∪ {U_j}; every occurrence of U_j records precisely that "this
+// output byte equals byte j of the unknown initial context", which is
+// what makes the exact two-pass parallel algorithm possible.
+package tracked
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/flate"
+)
+
+const (
+	// WindowSize is the DEFLATE context size being tracked.
+	WindowSize = flate.WindowSize
+
+	// SymBase is the first symbolic value: cell value SymBase+j means
+	// U_j. Values below SymBase are resolved bytes.
+	SymBase = 256
+
+	// UndeterminedByte is the narrow rendering of any unresolved
+	// symbol, used for display and by the FASTQ heuristics ('?' in the
+	// paper's figures).
+	UndeterminedByte = '?'
+)
+
+// Sink is a flate.Visitor decoding into a symbolic stream. The
+// backing buffer is prefixed with the 32768-symbol initial context so
+// back-references resolve with plain slice indexing.
+type Sink struct {
+	buf []uint16 // [initial context | decoded output]
+	// Spans records per-block output extents (offsets are into Out(),
+	// i.e. exclude the context prefix).
+	Spans     []flate.BlockSpan
+	recording bool
+	// Limit, when > 0, stops decoding (with flate.Stop) once the
+	// output reaches this many entries.
+	Limit int
+	// StopBit, when > 0, stops cleanly before decoding a block whose
+	// start bit is >= StopBit. Used by the parallel engine to decode
+	// exactly one chunk.
+	StopBit int64
+	// StoppedAt records the start bit of the block that triggered the
+	// StopBit halt (-1 when no halt occurred).
+	StoppedAt int64
+}
+
+// NewSink returns a Sink with a fully undetermined initial context and
+// capacity for sizeHint output entries.
+func NewSink(sizeHint int) *Sink {
+	s := &Sink{buf: make([]uint16, WindowSize, WindowSize+sizeHint), StoppedAt: -1}
+	for j := 0; j < WindowSize; j++ {
+		s.buf[j] = uint16(SymBase + j)
+	}
+	return s
+}
+
+// RecordSpans enables per-block span recording.
+func (s *Sink) RecordSpans() { s.recording = true }
+
+// Out returns the decoded symbolic stream (excluding the context
+// prefix). The slice aliases the sink's buffer.
+func (s *Sink) Out() []uint16 { return s.buf[WindowSize:] }
+
+// Len returns the number of output entries decoded so far.
+func (s *Sink) Len() int { return len(s.buf) - WindowSize }
+
+func (s *Sink) BlockStart(ev flate.BlockEvent) error {
+	if s.StopBit > 0 && ev.StartBit >= s.StopBit {
+		s.StoppedAt = ev.StartBit
+		return flate.Stop
+	}
+	if s.recording {
+		s.Spans = append(s.Spans, flate.BlockSpan{Event: ev, OutStart: int64(s.Len())})
+	}
+	return nil
+}
+
+func (s *Sink) Literal(b byte) error {
+	s.buf = append(s.buf, uint16(b))
+	if s.Limit > 0 && s.Len() >= s.Limit {
+		return flate.Stop
+	}
+	return nil
+}
+
+func (s *Sink) Match(length, dist int) error {
+	n := len(s.buf)
+	src := n - dist // always >= 0: the context prefix absorbs any distance
+	if dist >= length {
+		s.buf = append(s.buf, s.buf[src:src+length]...)
+	} else {
+		for i := 0; i < length; i++ {
+			s.buf = append(s.buf, s.buf[src+i])
+		}
+	}
+	if s.Limit > 0 && s.Len() >= s.Limit {
+		return flate.Stop
+	}
+	return nil
+}
+
+func (s *Sink) BlockEnd(nextBit int64) error {
+	if s.recording && len(s.Spans) > 0 {
+		last := &s.Spans[len(s.Spans)-1]
+		last.EndBit = nextBit
+		last.OutEnd = int64(s.Len())
+	}
+	return nil
+}
+
+// Result bundles a tracked decode.
+type Result struct {
+	Out    []uint16
+	Spans  []flate.BlockSpan
+	EndBit int64 // bit offset after the last fully decoded block
+	Final  bool  // whether the stream's final block was reached
+}
+
+// DecodeOptions tunes DecodeFrom.
+type DecodeOptions struct {
+	// MaxOutput stops decoding after this many output bytes (0 = no
+	// limit).
+	MaxOutput int
+	// StopBit stops before any block starting at or beyond this bit.
+	StopBit int64
+	// RecordSpans toggles per-block span collection.
+	RecordSpans bool
+	// SizeHint pre-sizes the output buffer.
+	SizeHint int
+}
+
+// DecodeFrom decompresses a DEFLATE stream starting at startBit of
+// data with a fully undetermined context. The start must be a true
+// block boundary (use internal/blockfind to locate one). Decoding ends
+// at the stream's final block, at opts.StopBit, or after
+// opts.MaxOutput bytes, whichever comes first.
+func DecodeFrom(data []byte, startBit int64, opts DecodeOptions) (*Result, error) {
+	r, err := bitio.NewReaderAt(data, startBit)
+	if err != nil {
+		return nil, err
+	}
+	sink := NewSink(opts.SizeHint)
+	sink.Limit = opts.MaxOutput
+	sink.StopBit = opts.StopBit
+	if opts.RecordSpans {
+		sink.RecordSpans()
+	}
+	dec := flate.NewDecoder(flate.Options{})
+
+	final := false
+	for {
+		f, err := dec.DecodeBlock(r, sink)
+		if err != nil {
+			if errors.Is(err, flate.Stop) {
+				break
+			}
+			return nil, fmt.Errorf("tracked: decode at bit %d: %w", startBit, err)
+		}
+		if f {
+			final = true
+			break
+		}
+	}
+	res := &Result{Out: sink.Out(), Spans: sink.Spans, Final: final}
+	switch {
+	case sink.StoppedAt >= 0:
+		// Halted at a successor's block start: the decoder had already
+		// consumed part of that block's header, so report the true
+		// boundary.
+		res.EndBit = sink.StoppedAt
+	case len(sink.Spans) > 0 && sink.Spans[len(sink.Spans)-1].EndBit != 0:
+		res.EndBit = sink.Spans[len(sink.Spans)-1].EndBit
+	default:
+		res.EndBit = r.BitPos()
+	}
+	return res, nil
+}
+
+// Resolve replaces every symbolic entry of out with the corresponding
+// byte of ctx (the true initial context, len == WindowSize), writing
+// bytes into dst (allocated when nil). It is the pass-2 translation of
+// Figure 3: out[i] == SymBase+j  =>  dst[i] = ctx[j].
+func Resolve(out []uint16, ctx []byte, dst []byte) ([]byte, error) {
+	if len(ctx) != WindowSize {
+		return nil, fmt.Errorf("tracked: context must be %d bytes, got %d", WindowSize, len(ctx))
+	}
+	if cap(dst) < len(out) {
+		dst = make([]byte, len(out))
+	}
+	dst = dst[:len(out)]
+	for i, v := range out {
+		if v < SymBase {
+			dst[i] = byte(v)
+		} else {
+			dst[i] = ctx[v-SymBase]
+		}
+	}
+	return dst, nil
+}
+
+// ResolveWindow computes the resolved last-32-KiB window of a chunk's
+// output given that chunk's (resolved) initial context. This is the
+// cheap sequential step of pass 2: w_{i+1} = resolve(tail(D_i), w_i).
+// When the output is shorter than a window, the leading part of the
+// result comes from the tail of the context itself.
+func ResolveWindow(out []uint16, ctx []byte) ([]byte, error) {
+	if len(ctx) != WindowSize {
+		return nil, fmt.Errorf("tracked: context must be %d bytes, got %d", WindowSize, len(ctx))
+	}
+	w := make([]byte, WindowSize)
+	n := len(out)
+	if n >= WindowSize {
+		_, err := resolveInto(w, out[n-WindowSize:], ctx)
+		return w, err
+	}
+	// Short chunk: window = last (WindowSize-n) bytes of ctx ++ resolved out.
+	copy(w, ctx[n:])
+	_, err := resolveInto(w[WindowSize-n:], out, ctx)
+	return w, err
+}
+
+func resolveInto(dst []byte, out []uint16, ctx []byte) ([]byte, error) {
+	for i, v := range out {
+		if v < SymBase {
+			dst[i] = byte(v)
+		} else {
+			dst[i] = ctx[v-SymBase]
+		}
+	}
+	return dst, nil
+}
+
+// Narrow renders a symbolic stream as bytes with every unresolved
+// symbol shown as UndeterminedByte ('?'): the representation used by
+// the paper's figures and the FASTQ heuristic parser.
+func Narrow(out []uint16) []byte {
+	dst := make([]byte, len(out))
+	for i, v := range out {
+		if v < SymBase {
+			dst[i] = byte(v)
+		} else {
+			dst[i] = UndeterminedByte
+		}
+	}
+	return dst
+}
+
+// CountUndetermined returns the number of symbolic entries in out.
+func CountUndetermined(out []uint16) int {
+	n := 0
+	for _, v := range out {
+		if v >= SymBase {
+			n++
+		}
+	}
+	return n
+}
+
+// UndeterminedPerWindow partitions out into consecutive non-overlapping
+// windows of size w and returns the fraction of undetermined entries
+// in each (the y-axis of Figure 2). A trailing partial window is
+// included when at least half full.
+func UndeterminedPerWindow(out []uint16, w int) []float64 {
+	if w <= 0 {
+		return nil
+	}
+	var fracs []float64
+	for start := 0; start < len(out); start += w {
+		end := start + w
+		if end > len(out) {
+			if len(out)-start < w/2 {
+				break
+			}
+			end = len(out)
+		}
+		u := CountUndetermined(out[start:end])
+		fracs = append(fracs, float64(u)/float64(end-start))
+	}
+	return fracs
+}

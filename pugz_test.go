@@ -1,0 +1,253 @@
+package pugz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/fastq"
+)
+
+func genFastq(reads int, seed int64) []byte {
+	return fastq.Generate(fastq.GenOptions{Reads: reads, Seed: seed})
+}
+
+func TestDecompressRoundTrip(t *testing.T) {
+	data := genFastq(6000, 1)
+	for _, level := range []int{1, 6, 9} {
+		gz, err := Compress(data, level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, threads := range []int{1, 4} {
+			out, st, err := Decompress(gz, Options{
+				Threads:         threads,
+				MinChunk:        8 << 10,
+				VerifyChecksums: true,
+			})
+			if err != nil {
+				t.Fatalf("level %d threads %d: %v", level, threads, err)
+			}
+			if !bytes.Equal(out, data) {
+				t.Fatalf("level %d threads %d: mismatch", level, threads)
+			}
+			if st.Members != 1 {
+				t.Fatalf("want 1 member, got %d", st.Members)
+			}
+		}
+	}
+}
+
+func TestDecompressMultiMember(t *testing.T) {
+	a, b := genFastq(2000, 2), genFastq(2000, 3)
+	ga, _ := Compress(a, 6)
+	gb, _ := Compress(b, 1)
+	gz := append(append([]byte{}, ga...), gb...)
+	out, st, err := Decompress(gz, Options{Threads: 4, MinChunk: 8 << 10, VerifyChecksums: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]byte{}, a...), b...)
+	if !bytes.Equal(out, want) {
+		t.Fatal("multi-member mismatch")
+	}
+	if st.Members != 2 {
+		t.Fatalf("want 2 members, got %d", st.Members)
+	}
+}
+
+func TestCorruptChecksumDetected(t *testing.T) {
+	data := genFastq(2000, 4)
+	gz, _ := Compress(data, 6)
+	// Flip a bit in the stored CRC (last 8 bytes are CRC+ISIZE).
+	gz[len(gz)-6] ^= 0xff
+	if _, _, err := Decompress(gz, Options{Threads: 2, VerifyChecksums: true}); err == nil {
+		t.Fatal("expected checksum error")
+	}
+	// Without verification the (content-intact) stream still inflates.
+	out, _, err := Decompress(gz, Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatal("content mismatch")
+	}
+}
+
+func TestScanBlocks(t *testing.T) {
+	data := genFastq(6000, 5)
+	gz, _ := Compress(data, 6)
+	blocks, err := ScanBlocks(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) < 2 {
+		t.Fatalf("want multiple blocks, got %d", len(blocks))
+	}
+	if !blocks[len(blocks)-1].Final {
+		t.Fatal("last block must be final")
+	}
+	for i := 1; i < len(blocks); i++ {
+		if blocks[i].StartBit != blocks[i-1].EndBit {
+			t.Fatalf("block %d: gap %d -> %d", i, blocks[i-1].EndBit, blocks[i].StartBit)
+		}
+		if blocks[i].OutStart != blocks[i-1].OutEnd {
+			t.Fatalf("block %d: output gap", i)
+		}
+	}
+	if blocks[len(blocks)-1].OutEnd != int64(len(data)) {
+		t.Fatal("blocks do not cover the output")
+	}
+}
+
+func TestFindBlockAgainstScan(t *testing.T) {
+	data := genFastq(8000, 6)
+	gz, _ := Compress(data, 6)
+	blocks, err := ScanBlocks(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From the middle of the file, FindBlock must land exactly on a
+	// scanned boundary.
+	mid := int64(len(gz) / 2)
+	bit, err := FindBlock(gz, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, b := range blocks {
+		if b.StartBit == bit {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("FindBlock bit %d not on the true block lattice", bit)
+	}
+}
+
+func TestRandomAccessLowestLevelIsClean(t *testing.T) {
+	// Section VII-A: at the lowest compression level, random access is
+	// virtually exact — after the first sequence-resolved block,
+	// essentially every extracted sequence is unambiguous. The delay to
+	// resolution is a few MB (the paper reports 52 MB on real GB-scale
+	// files), so the corpus must be tens of MB.
+	data := genFastq(150000, 7)
+	gz, _ := Compress(data, 1)
+	res, err := RandomAccess(gz, int64(len(gz)/5), RandomAccessOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstResolvedBlock < 0 {
+		t.Fatal("no sequence-resolved block found at level 1")
+	}
+	frac, ok := res.UnambiguousAfterResolved()
+	if !ok {
+		t.Fatal("no sequences after resolved block")
+	}
+	if frac < 0.99 {
+		t.Fatalf("level 1 unambiguous fraction %.4f, want ≥0.99", frac)
+	}
+}
+
+func TestRandomAccessTextIsPlausible(t *testing.T) {
+	data := genFastq(20000, 8)
+	gz, _ := Compress(data, 6)
+	res, err := RandomAccess(gz, int64(len(gz)/2), RandomAccessOptions{MaxOutput: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Text) == 0 {
+		t.Fatal("no text decoded")
+	}
+	// Every non-'?' character of the suffix must occur in the true
+	// output at the same (aligned) position. Align by finding the
+	// suffix start: the block's OutStart in the full decode.
+	blocks, err := ScanBlocks(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outStart int64 = -1
+	for _, b := range blocks {
+		if b.StartBit == res.BlockBit {
+			outStart = b.OutStart
+			break
+		}
+	}
+	if outStart < 0 {
+		t.Fatal("random-access block not on lattice")
+	}
+	truth := data[outStart:]
+	n := len(res.Text)
+	if n > len(truth) {
+		t.Fatalf("suffix longer than truth: %d > %d", n, len(truth))
+	}
+	mismatches := 0
+	for i := 0; i < n; i++ {
+		if res.Text[i] != Undetermined && res.Text[i] != truth[i] {
+			mismatches++
+		}
+	}
+	if mismatches != 0 {
+		t.Fatalf("%d resolved characters disagree with the true stream", mismatches)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	data := genFastq(500, 9)
+	for level, want := range map[int]CompressionClass{1: ClassLowest, 6: ClassNormal, 9: ClassHighest} {
+		gz, _ := Compress(data, level)
+		got, err := Classify(gz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("level %d: class %v, want %v", level, got, want)
+		}
+	}
+}
+
+// TestFullCircleParallel closes the loop the paper opens: compress in
+// parallel (pigz-style, trivial) and decompress in parallel (pugz, the
+// hard direction) — output must be exact, and the pugz block scanner
+// must cope with the empty stored sync blocks between chunks (the
+// "special case" the paper's prototype left unimplemented).
+func TestFullCircleParallel(t *testing.T) {
+	data := genFastq(20000, 77)
+	gz, err := CompressParallel(data, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, st, err := Decompress(gz, Options{Threads: 4, MinChunk: 32 << 10, VerifyChecksums: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatal("full-circle mismatch")
+	}
+	if len(st.Chunks) < 2 {
+		t.Errorf("expected parallel chunks, got %d", len(st.Chunks))
+	}
+	// Random access works on pigz-style files too.
+	res, err := RandomAccess(gz, int64(len(gz)/2), RandomAccessOptions{MaxOutput: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Text) == 0 {
+		t.Fatal("no random-access output")
+	}
+}
+
+func TestCompressNamed(t *testing.T) {
+	gz, err := CompressNamed([]byte(strings.Repeat("read data ", 300)), 6, "sample.fastq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := Decompress(gz, Options{VerifyChecksums: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3000 {
+		t.Fatalf("got %d bytes", len(out))
+	}
+}

@@ -1,0 +1,160 @@
+package pugz
+
+import (
+	"fmt"
+
+	"repro/internal/fastq"
+	"repro/internal/gzipx"
+	"repro/internal/tracked"
+)
+
+// Undetermined is the byte standing in for any unresolved character in
+// random-access output ('?' throughout the paper's figures).
+const Undetermined = tracked.UndeterminedByte
+
+// RandomAccessOptions tunes RandomAccess.
+type RandomAccessOptions struct {
+	// MaxOutput bounds how many decompressed bytes to produce
+	// (0 = decode to the end of the member).
+	MaxOutput int
+	// MinSeqLen is the minimum extracted-sequence length (default 32).
+	MinSeqLen int
+	// ResolvedThreshold is the number of clean sequences a block needs
+	// to count as sequence-resolved (default 4).
+	ResolvedThreshold int
+}
+
+// Sequence is one DNA-like segment extracted from random-access
+// output.
+type Sequence struct {
+	// Offset is the byte position within SuffixText where the
+	// sequence begins.
+	Offset int
+	Seq    []byte
+	// Undetermined counts '?' characters within Seq.
+	Undetermined int
+}
+
+// Unambiguous reports whether the sequence is fully determined.
+func (s Sequence) Unambiguous() bool { return s.Undetermined == 0 }
+
+// RandomAccessResult is the outcome of decompressing from an arbitrary
+// location with an undetermined context.
+type RandomAccessResult struct {
+	// BlockBit is the payload bit offset of the block where decoding
+	// started (the first confirmed block at/after the requested
+	// offset).
+	BlockBit int64
+	// Text is the decompressed suffix with unresolved characters shown
+	// as Undetermined ('?').
+	Text []byte
+	// Blocks are the decoded block boundaries (offsets into Text).
+	Blocks []Block
+	// Sequences holds every extracted DNA-like segment, in order.
+	Sequences []Sequence
+	// FirstResolvedBlock is the index into Blocks of the first
+	// sequence-resolved block, or -1 if none was found. DelayBytes is
+	// the number of decompressed bytes before it ("delay to
+	// sequence-resolved block" in Table I).
+	FirstResolvedBlock int
+	DelayBytes         int64
+}
+
+// UnambiguousAfterResolved returns the Table I statistic: among
+// sequences that begin at or after the first sequence-resolved block,
+// the fraction without undetermined characters. ok is false when no
+// sequence-resolved block exists or no sequences follow it.
+func (r *RandomAccessResult) UnambiguousAfterResolved() (frac float64, ok bool) {
+	if r.FirstResolvedBlock < 0 {
+		return 0, false
+	}
+	start := r.Blocks[r.FirstResolvedBlock].OutStart
+	total, clean := 0, 0
+	for _, s := range r.Sequences {
+		if int64(s.Offset) < start {
+			continue
+		}
+		total++
+		if s.Unambiguous() {
+			clean++
+		}
+	}
+	if total == 0 {
+		return 0, false
+	}
+	return float64(clean) / float64(total), true
+}
+
+// RandomAccess decompresses a gzip-compressed FASTQ file starting at
+// an arbitrary compressed byte offset, using a fully undetermined
+// 32 KiB context, and extracts DNA-like sequences from the partially
+// resolved output (the paper's fqgz prototype: Sections IV, VI-A,
+// VI-B and Appendix X-B).
+func RandomAccess(gz []byte, fromByte int64, o RandomAccessOptions) (*RandomAccessResult, error) {
+	if o.MinSeqLen == 0 {
+		o.MinSeqLen = fastq.DefaultMinLen
+	}
+	if o.ResolvedThreshold == 0 {
+		o.ResolvedThreshold = fastq.SequenceResolvedThreshold
+	}
+	m, err := gzipx.ParseHeader(gz)
+	if err != nil {
+		return nil, err
+	}
+	payload := gz[m.HeaderLen:]
+
+	bit, err := FindBlock(gz, fromByte)
+	if err != nil {
+		return nil, fmt.Errorf("pugz: random access at byte %d: %w", fromByte, err)
+	}
+
+	res, err := tracked.DecodeFrom(payload, bit, tracked.DecodeOptions{
+		MaxOutput:   o.MaxOutput,
+		RecordSpans: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &RandomAccessResult{
+		BlockBit:           bit,
+		Text:               tracked.Narrow(res.Out),
+		FirstResolvedBlock: -1,
+		DelayBytes:         -1,
+	}
+	for _, s := range res.Spans {
+		out.Blocks = append(out.Blocks, Block{
+			StartBit: s.Event.StartBit,
+			EndBit:   s.EndBit,
+			Type:     s.Event.Type.String(),
+			Final:    s.Event.Final,
+			OutStart: s.OutStart,
+			OutEnd:   s.OutEnd,
+		})
+	}
+
+	exOpts := fastq.ExtractOptions{MinLen: o.MinSeqLen}
+	for _, seg := range fastq.Extract(out.Text, exOpts) {
+		out.Sequences = append(out.Sequences, Sequence{
+			Offset:       seg.Start,
+			Seq:          seg.Seq(out.Text),
+			Undetermined: seg.Undetermined,
+		})
+	}
+
+	for i, b := range out.Blocks {
+		end := b.OutEnd
+		if end > int64(len(out.Text)) {
+			end = int64(len(out.Text))
+		}
+		if b.OutStart >= end {
+			continue
+		}
+		if fastq.BlockResolved(out.Text[b.OutStart:end], exOpts, o.ResolvedThreshold) {
+			out.FirstResolvedBlock = i
+			out.DelayBytes = b.OutStart
+			break
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,147 @@
+package pugz
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/fastq"
+)
+
+func TestStreamingReaderMatchesWhole(t *testing.T) {
+	data := genFastq(40000, 31)
+	for _, level := range []int{1, 6, 9} {
+		gz, err := Compress(data, level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(gz, StreamOptions{
+			Threads:              4,
+			BatchCompressedBytes: 256 << 10, // force many batches
+			MinChunk:             16 << 10,
+			VerifyChecksums:      true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("level %d: stream output mismatch (%d vs %d bytes)", level, len(out), len(data))
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStreamingReaderMultiMember(t *testing.T) {
+	a := genFastq(8000, 32)
+	b := genFastq(8000, 33)
+	ga, _ := Compress(a, 6)
+	gb, _ := Compress(b, 1)
+	gz := append(append([]byte{}, ga...), gb...)
+	r, err := NewReader(gz, StreamOptions{Threads: 3, BatchCompressedBytes: 128 << 10, MinChunk: 8 << 10, VerifyChecksums: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]byte{}, a...), b...)
+	if !bytes.Equal(out, want) {
+		t.Fatal("multi-member stream mismatch")
+	}
+}
+
+func TestStreamingReaderSmallReads(t *testing.T) {
+	data := genFastq(4000, 34)
+	gz, _ := Compress(data, 6)
+	r, err := NewReader(gz, StreamOptions{Threads: 2, BatchCompressedBytes: 64 << 10, MinChunk: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var out bytes.Buffer
+	buf := make([]byte, 137) // deliberately odd read size
+	for {
+		n, err := r.Read(buf)
+		out.Write(buf[:n])
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Fatal("small-read stream mismatch")
+	}
+	// Reading after EOF keeps returning EOF.
+	if _, err := r.Read(buf); err != io.EOF {
+		t.Fatalf("post-EOF read: %v", err)
+	}
+}
+
+func TestStreamingReaderEarlyClose(t *testing.T) {
+	data := genFastq(30000, 35)
+	gz, _ := Compress(data, 6)
+	r, err := NewReader(gz, StreamOptions{Threads: 4, BatchCompressedBytes: 64 << 10, MinChunk: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1000)
+	if _, err := r.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Double close is fine.
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamingReaderChecksumFailure(t *testing.T) {
+	data := genFastq(6000, 36)
+	gz, _ := Compress(data, 6)
+	gz[len(gz)-6] ^= 0xff // corrupt stored CRC
+	r, err := NewReader(gz, StreamOptions{Threads: 2, VerifyChecksums: true, BatchCompressedBytes: 64 << 10, MinChunk: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	_, err = io.ReadAll(r)
+	if err == nil {
+		t.Fatal("expected checksum error")
+	}
+}
+
+func TestStreamingReaderBadHeader(t *testing.T) {
+	if _, err := NewReader([]byte("not a gzip file"), StreamOptions{}); err == nil {
+		t.Fatal("bad header accepted")
+	}
+}
+
+func TestStreamingReaderTinyBatches(t *testing.T) {
+	// Batch size below the floor still works (clamped to 64 KiB).
+	data := fastq.Generate(fastq.GenOptions{Reads: 3000, Seed: 37})
+	gz, _ := Compress(data, 6)
+	r, err := NewReader(gz, StreamOptions{Threads: 2, BatchCompressedBytes: 1, MinChunk: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatal("tiny-batch mismatch")
+	}
+}

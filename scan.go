@@ -1,0 +1,76 @@
+package pugz
+
+import (
+	"repro/internal/blockfind"
+	"repro/internal/flate"
+	"repro/internal/gzipx"
+)
+
+// Block describes one DEFLATE block of a gzip member.
+type Block struct {
+	// StartBit / EndBit are absolute bit offsets within the DEFLATE
+	// payload (add 8*header length for file-absolute positions).
+	StartBit int64
+	EndBit   int64
+	// Type is "stored", "fixed" or "dynamic".
+	Type string
+	// Final marks the last block of the stream.
+	Final bool
+	// OutStart / OutEnd are the block's byte extent in the
+	// decompressed output.
+	OutStart int64
+	OutEnd   int64
+}
+
+// ScanBlocks fully decodes the first member of a gzip file and returns
+// every block boundary. This is the exhaustive (sequential) index; use
+// FindBlock to sync to a single block near an arbitrary offset without
+// decoding the prefix.
+func ScanBlocks(gz []byte) ([]Block, error) {
+	m, err := gzipx.ParseHeader(gz)
+	if err != nil {
+		return nil, err
+	}
+	payload := gz[m.HeaderLen:]
+	_, spans, err := flate.DecompressRecorded(payload, 0, true)
+	if err != nil {
+		return nil, err
+	}
+	blocks := make([]Block, len(spans))
+	for i, s := range spans {
+		blocks[i] = Block{
+			StartBit: s.Event.StartBit,
+			EndBit:   s.EndBit,
+			Type:     s.Event.Type.String(),
+			Final:    s.Event.Final,
+			OutStart: s.OutStart,
+			OutEnd:   s.OutEnd,
+		}
+	}
+	return blocks, nil
+}
+
+// FindBlock locates the first confirmed DEFLATE block start at or
+// after the given byte offset into the compressed file, by brute-force
+// bit scanning with the stringent checks of Appendix X-A. It returns
+// the block's bit offset within the DEFLATE payload.
+//
+// ErrNotFound is returned when no block start is confirmed before the
+// end of the file (in particular, the final block of a stream is never
+// a valid target).
+func FindBlock(gz []byte, fromByte int64) (int64, error) {
+	m, err := gzipx.ParseHeader(gz)
+	if err != nil {
+		return 0, err
+	}
+	payload := gz[m.HeaderLen:]
+	from := fromByte - int64(m.HeaderLen)
+	if from < 0 {
+		from = 0
+	}
+	f := blockfind.New()
+	return f.Next(payload, from*8)
+}
+
+// ErrNotFound re-exports the block scanner's miss condition.
+var ErrNotFound = blockfind.ErrNotFound

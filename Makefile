@@ -1,0 +1,32 @@
+# Tier-1 gate: everything `make ci` runs must stay green.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: ci vet build test race fuzz-smoke bench clean
+
+ci: vet build race fuzz-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short-iteration fuzz smoke over both differential targets: enough to
+# replay the checked-in corpus plus a burst of fresh mutations.
+fuzz-smoke:
+	$(GO) test . -run '^$$' -fuzz FuzzDecompress -fuzztime $(FUZZTIME)
+	$(GO) test . -run '^$$' -fuzz FuzzNewReader -fuzztime $(FUZZTIME)
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+clean:
+	rm -rf .tmp

@@ -304,7 +304,7 @@ func BenchmarkStreamingReader(b *testing.B) {
 	b.SetBytes(int64(len(fixGz)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := pugz.NewReader(fixGz, pugz.StreamOptions{Threads: 4, BatchCompressedBytes: 4 << 20, MinChunk: 512 << 10})
+		r, err := pugz.NewReaderBytes(fixGz, pugz.StreamOptions{Threads: 4, BatchCompressedBytes: 4 << 20, MinChunk: 512 << 10})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -5,16 +5,24 @@
 // heuristic parser extracts — flagging those still containing
 // undetermined ('?') characters.
 //
+// With "-" (or -stream) the whole file is instead decompressed through
+// the bounded-memory parallel pipeline and every read's sequence line
+// is emitted — no random access, no slurping, works on pipes:
+//
 //	fqgz -offset 50%  file.fastq.gz           # seek to half the file
 //	fqgz -offset 1000000 -max 4000000 file.fastq.gz
 //	fqgz -offset 25% -clean file.fastq.gz     # only unambiguous reads
+//	cat file.fastq.gz | fqgz -                # stream all sequences
+//	fqgz -stream -summary file.fastq.gz       # stream + count only
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -27,13 +35,30 @@ func main() {
 	minLen := flag.Int("minlen", 32, "minimum extracted sequence length")
 	clean := flag.Bool("clean", false, "print only sequences without undetermined characters")
 	summary := flag.Bool("summary", false, "print statistics instead of sequences")
+	stream := flag.Bool("stream", false, "decompress the whole stream in parallel and emit every sequence")
+	threads := flag.Int("t", runtime.NumCPU(), "decompression threads (streaming mode)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: fqgz [-offset POS] [-max N] [-clean|-summary] file.fastq.gz")
+		fmt.Fprintln(os.Stderr, "usage: fqgz [-offset POS] [-max N] [-clean|-summary] file.fastq.gz\n       fqgz [-stream] [-t N] [-max N] [-summary] file.fastq.gz|-")
 		os.Exit(2)
 	}
-	gz, err := os.ReadFile(flag.Arg(0))
+	in := flag.Arg(0)
+	if in == "-" || *stream {
+		// Random-access-only flags are meaningless here; reject them
+		// rather than silently answering a different query. (-clean is
+		// allowed: streamed output is exact, so everything is clean.)
+		offsetSet := false
+		flag.Visit(func(f *flag.Flag) { offsetSet = offsetSet || f.Name == "offset" })
+		if offsetSet {
+			fmt.Fprintln(os.Stderr, "fqgz: -offset applies to random access only; streaming always starts at byte 0")
+			os.Exit(2)
+		}
+		streamAll(in, *threads, *maxOut, *minLen, *summary)
+		return
+	}
+
+	gz, err := os.ReadFile(in)
 	if err != nil {
 		fatal(err)
 	}
@@ -82,6 +107,71 @@ func main() {
 			continue
 		}
 		fmt.Fprintf(w, ">seq_%d offset=%d undetermined=%d\n%s\n", i, s.Offset, s.Undetermined, s.Seq)
+	}
+}
+
+// streamAll decompresses the entire file (or stdin) through the
+// bounded-memory parallel pipeline and walks FASTQ records as they
+// stream out — every sequence is fully resolved, so there is nothing
+// undetermined to flag.
+func streamAll(in string, threads, maxOut, minLen int, summary bool) {
+	var src io.Reader
+	if in == "-" {
+		src = os.Stdin
+	} else {
+		f, err := os.Open(in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	r, err := pugz.NewReader(src, pugz.StreamOptions{Threads: threads})
+	if err != nil {
+		fatal(err)
+	}
+	defer r.Close()
+
+	var text io.Reader = r
+	if maxOut > 0 {
+		text = io.LimitReader(r, int64(maxOut))
+	}
+	br := bufio.NewReaderSize(text, 1<<20)
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	var offset int64
+	line, emitted := 0, 0
+	for {
+		// ReadString keeps the delimiter, so offsets count true
+		// decompressed bytes even for CRLF input or a final line with
+		// no newline.
+		raw, err := br.ReadString('\n')
+		if len(raw) > 0 {
+			// FASTQ: header, sequence, separator, quality — sequence
+			// is every 4th line starting from the second.
+			seq := strings.TrimRight(raw, "\r\n")
+			if line%4 == 1 && len(seq) >= minLen {
+				if !summary {
+					fmt.Fprintf(w, ">seq_%d offset=%d undetermined=0\n%s\n", emitted, offset, seq)
+				}
+				emitted++
+			}
+			offset += int64(len(raw))
+			line++
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if summary {
+		st := r.Stats()
+		fmt.Printf("streamed %d bytes (%d members, %d batches, peak compressed window %d bytes)\n",
+			offset, st.Members, st.Batches, st.MaxBufferedCompressed)
+		fmt.Printf("sequences: %d total, all unambiguous (stream mode is exact)\n", emitted)
 	}
 }
 

@@ -2,14 +2,22 @@
 // the two-pass algorithm of the paper, producing output byte-identical
 // to gunzip's.
 //
+// By default input is streamed through the bounded-memory pipeline
+// (pugz.NewReader), so multi-GiB files and pipes decompress without
+// the compressed or decompressed payload ever residing in memory:
+//
 //	pugz -t 8 file.fastq.gz              # decompress to file.fastq
 //	pugz -c -t 8 file.fastq.gz > out     # decompress to stdout
-//	pugz -stats -t 8 file.fastq.gz       # print a phase breakdown
+//	cat file.fastq.gz | pugz -c - > out  # decompress from a pipe
+//	pugz -stats -t 8 file.fastq.gz       # print a pipeline summary
+//	pugz -slurp -stats file.fastq.gz     # whole-file mode, per-chunk stats
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -24,47 +32,97 @@ func main() {
 	output := flag.String("o", "", "output file (default: input without .gz)")
 	verify := flag.Bool("check", false, "verify CRC-32 and ISIZE (pugz skips checksums by default, like the paper)")
 	stats := flag.Bool("stats", false, "print phase timing to stderr")
+	batch := flag.Int("batch", 0, "compressed bytes per streaming batch (default 4 MiB x threads)")
+	maxWindow := flag.Int("maxwindow", 0, "cap on the buffered compressed window; lower it to fail fast on corrupt or non-text streams (default max(64 MiB, 4 x batch))")
+	slurp := flag.Bool("slurp", false, "read the whole file into memory and use the two-pass whole-file engine")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: pugz [-t N] [-c|-o out] [-check] [-stats] file.gz")
+		fmt.Fprintln(os.Stderr, "usage: pugz [-t N] [-c|-o out] [-check] [-stats] [-batch N] [-maxwindow N] [-slurp] file.gz|-")
 		os.Exit(2)
 	}
 	in := flag.Arg(0)
-	gz, err := os.ReadFile(in)
-	if err != nil {
-		fatal(err)
+
+	var src io.Reader
+	switch {
+	case in == "-":
+		src = os.Stdin
+	default:
+		f, err := os.Open(in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+
+	dst, commit, abort := openDst(in, *stdout, *output)
+
+	if *slurp {
+		runSlurped(src, dst, commit, abort, *threads, *verify, *stats)
+		return
 	}
 
 	t0 := time.Now()
-	out, st, err := pugz.Decompress(gz, pugz.Options{
-		Threads:         *threads,
-		VerifyChecksums: *verify,
+	r, err := pugz.NewReader(src, pugz.StreamOptions{
+		Threads:              *threads,
+		BatchCompressedBytes: *batch,
+		VerifyChecksums:      *verify,
+		MaxWindowBytes:       *maxWindow,
 	})
 	if err != nil {
+		abort()
+		fatal(err)
+	}
+	defer r.Close()
+	w := bufio.NewWriterSize(dst, 1<<20)
+	n, err := io.Copy(w, r)
+	if err == nil {
+		err = w.Flush()
+	}
+	if err != nil {
+		abort()
+		fatal(err)
+	}
+	if err := commit(); err != nil {
+		fatal(err)
+	}
+	if *stats {
+		wall := time.Since(t0)
+		st := r.Stats()
+		fmt.Fprintf(os.Stderr, "pugz: %d bytes out in %v (%.0f MB/s decompressed)\n",
+			n, wall, float64(n)/1e6/wall.Seconds())
+		fmt.Fprintf(os.Stderr, "  members=%d batches=%d peak compressed window=%d bytes\n",
+			st.Members, st.Batches, st.MaxBufferedCompressed)
+	}
+}
+
+// runSlurped is the pre-streaming path: the whole compressed file in
+// memory, whole-file two-pass decompression, detailed per-chunk stats.
+func runSlurped(src io.Reader, dst io.Writer, commit func() error, abort func(), threads int, verify, stats bool) {
+	gz, err := io.ReadAll(src)
+	if err != nil {
+		abort()
+		fatal(err)
+	}
+	t0 := time.Now()
+	out, st, err := pugz.Decompress(gz, pugz.Options{
+		Threads:         threads,
+		VerifyChecksums: verify,
+	})
+	if err != nil {
+		abort()
 		fatal(err)
 	}
 	wall := time.Since(t0)
-
-	switch {
-	case *stdout:
-		if _, err := os.Stdout.Write(out); err != nil {
-			fatal(err)
-		}
-	default:
-		dst := *output
-		if dst == "" {
-			dst = strings.TrimSuffix(in, ".gz")
-			if dst == in {
-				dst = in + ".out"
-			}
-		}
-		if err := os.WriteFile(dst, out, 0o644); err != nil {
-			fatal(err)
-		}
+	if _, err := dst.Write(out); err != nil {
+		abort()
+		fatal(err)
 	}
-
-	if *stats {
+	if err := commit(); err != nil {
+		fatal(err)
+	}
+	if stats {
 		fmt.Fprintf(os.Stderr, "pugz: %d -> %d bytes in %v (%.0f MB/s compressed)\n",
 			len(gz), len(out), wall, float64(len(gz))/1e6/wall.Seconds())
 		fmt.Fprintf(os.Stderr, "  members=%d chunks=%d sync=%v pass1=%v pass2(seq)=%v pass2(par)=%v\n",
@@ -74,6 +132,49 @@ func main() {
 				i, c.StartBit, c.EndBit, c.OutBytes, c.SymbolsUnresolved, c.Find, c.Pass1, c.Pass2)
 		}
 	}
+}
+
+// openDst resolves the output target: stdout with -c (or stdin input),
+// -o, or the input path with .gz stripped. File output goes to a
+// temporary sibling that commit renames into place, so a failed run
+// never truncates or replaces an existing good file with partial
+// output.
+func openDst(in string, stdout bool, output string) (w io.Writer, commit func() error, abort func()) {
+	if stdout || (in == "-" && output == "") {
+		return os.Stdout, func() error { return nil }, func() {}
+	}
+	dst := output
+	if dst == "" {
+		dst = strings.TrimSuffix(in, ".gz")
+		if dst == in {
+			dst = in + ".out"
+		}
+	}
+	if fi, err := os.Stat(dst); err == nil && !fi.Mode().IsRegular() {
+		// /dev/null, a FIFO, ...: write through directly; the
+		// tmp+rename dance would replace the special file.
+		f, err := os.OpenFile(dst, os.O_WRONLY, 0)
+		if err != nil {
+			fatal(err)
+		}
+		return f, f.Close, func() { f.Close() }
+	}
+	tmp := dst + ".pugz-tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		fatal(err)
+	}
+	commit = func() error {
+		if err := f.Close(); err != nil {
+			return err
+		}
+		return os.Rename(tmp, dst)
+	}
+	abort = func() {
+		f.Close()
+		os.Remove(tmp)
+	}
+	return f, commit, abort
 }
 
 func fatal(err error) {

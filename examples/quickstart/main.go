@@ -1,5 +1,7 @@
 // Quickstart: compress a synthetic FASTQ file, decompress it in
-// parallel with pugz, and verify the roundtrip.
+// parallel with pugz — first whole-file (the slice API), then through
+// the bounded-memory streaming pipeline (the io.Reader API) — and
+// verify both roundtrips.
 //
 //	go run ./examples/quickstart
 package main
@@ -7,6 +9,7 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"log"
 	"runtime"
 
@@ -25,7 +28,8 @@ func main() {
 	fmt.Printf("compressed %d -> %d bytes (%.2fx)\n",
 		len(data), len(gz), float64(len(data))/float64(len(gz)))
 
-	// 2. Decompress in parallel. Output is byte-identical to gunzip.
+	// 2. The slice API: whole-file two-pass parallel decompression.
+	// Output is byte-identical to gunzip.
 	out, st, err := pugz.Decompress(gz, pugz.Options{
 		Threads:         runtime.NumCPU() * 4, // chunks, not OS threads
 		VerifyChecksums: true,
@@ -47,5 +51,30 @@ func main() {
 		fmt.Printf("  chunk %d: %d bytes out, %d context symbols before resolution\n",
 			i, c.OutBytes, c.SymbolsUnresolved)
 	}
+
+	// 4. The streaming API: the same parallel engine behind an
+	// io.ReadCloser. The source here is an in-memory reader, but any
+	// io.Reader works — a file, a pipe, a socket — and neither the
+	// compressed nor the decompressed payload is ever held in full
+	// (see examples/streaming for a pipe-fed run).
+	r, err := pugz.NewReader(bytes.NewReader(gz), pugz.StreamOptions{
+		Threads:              4,
+		BatchCompressedBytes: 512 << 10,
+		VerifyChecksums:      true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+	streamed, err := io.ReadAll(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(streamed, data) {
+		log.Fatal("streaming roundtrip mismatch!")
+	}
+	rs := r.Stats()
+	fmt.Printf("streamed the same file in %d batches, peak compressed window %d bytes (file is %d)\n",
+		rs.Batches, rs.MaxBufferedCompressed, len(gz))
 	fmt.Println("roundtrip OK")
 }

@@ -1,0 +1,143 @@
+package pugz
+
+// Native fuzz targets locking the decompressors against the standard
+// library: on any input, neither API may panic; on input the stdlib
+// accepts, both APIs must succeed and agree byte-for-byte. The seed
+// corpus (testdata/fuzz/...) holds valid single- and multi-member
+// files at several levels plus truncated/corrupted variants, so
+// mutation starts from meaningful gzip framing.
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/gzipx"
+)
+
+// fuzzInputLimit caps the compressed input a fuzz iteration accepts:
+// DEFLATE expands at most ~1032x, so this bounds decompressed memory.
+const fuzzInputLimit = 64 << 10
+
+// fuzzSeeds returns the shared seed corpus for both targets.
+func fuzzSeeds(f *testing.F) [][]byte {
+	f.Helper()
+	var seeds [][]byte
+	add := func(b []byte) { seeds = append(seeds, b) }
+
+	text := []byte("@read1\nACGTACGTACGTACGTACGTTGCA\n+\nIIIIIIIIIIIIIIIIIIIIIIII\n")
+	var big []byte
+	for i := 0; i < 64; i++ {
+		big = append(big, text...)
+	}
+	for _, level := range []int{0, 1, 6, 9} {
+		gz, err := Compress(big, level)
+		if err != nil {
+			f.Fatal(err)
+		}
+		add(gz)
+	}
+	empty, err := Compress(nil, 6)
+	if err != nil {
+		f.Fatal(err)
+	}
+	add(empty)
+	named, err := CompressNamed(text, 6, "reads.fastq")
+	if err != nil {
+		f.Fatal(err)
+	}
+	add(named)
+	m1, _ := Compress(text, 1)
+	m2, _ := Compress(big, 9)
+	multi := append(append(append([]byte{}, m1...), empty...), m2...)
+	add(multi)
+	// Damaged variants: truncation, a flipped payload byte, a flipped
+	// trailer byte, garbage after a valid member.
+	add(m2[:len(m2)/2])
+	flipped := append([]byte{}, m2...)
+	flipped[len(flipped)/2] ^= 0x40
+	add(flipped)
+	badCRC := append([]byte{}, m1...)
+	badCRC[len(badCRC)-6] ^= 0xff
+	add(badCRC)
+	add(append(append([]byte{}, m1...), []byte("garbage tail")...))
+	add([]byte("\x1f\x8b")) // magic only
+	add(nil)
+	return seeds
+}
+
+// fuzzCompare runs one decompressor against the stdlib oracle.
+func fuzzCompare(t *testing.T, data []byte, name string, run func([]byte) ([]byte, error)) {
+	t.Helper()
+	if len(data) > fuzzInputLimit {
+		t.Skip("oversized input")
+	}
+	want, stdErr := stdGunzip(data)
+	got, err := run(data)
+	if stdErr != nil {
+		// The stdlib rejected it; we only require a clean error (no
+		// panic, no hang). Our error may legitimately differ.
+		return
+	}
+	if err != nil {
+		// The stdlib accepted the input but we rejected it. The one
+		// deliberate strictness gap is RFC 1952's reserved FLG bits,
+		// which compress/gzip ignores and pugz rejects.
+		if errors.Is(err, gzipx.ErrBadFlags) {
+			return
+		}
+		t.Fatalf("%s rejected stdlib-valid input: %v", name, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s output mismatch: got %d bytes, want %d", name, len(got), len(want))
+	}
+}
+
+func FuzzDecompress(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzCompare(t, data, "Decompress", func(gz []byte) ([]byte, error) {
+			out, _, err := Decompress(gz, Options{
+				Threads:         3,
+				MinChunk:        4 << 10,
+				VerifyChecksums: true,
+			})
+			return out, err
+		})
+	})
+}
+
+func FuzzNewReader(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzCompare(t, data, "NewReader", func(gz []byte) ([]byte, error) {
+			// Odd source read size exercises segment-boundary handling.
+			r, err := NewReader(iotest(gz), StreamOptions{
+				Threads:              4,
+				BatchCompressedBytes: 64 << 10,
+				MinChunk:             4 << 10,
+				VerifyChecksums:      true,
+				ReadSize:             1031,
+			})
+			if err != nil {
+				return nil, err
+			}
+			defer r.Close()
+			return io.ReadAll(r)
+		})
+	})
+}
+
+// iotest wraps a slice in a plain io.Reader (bytes.NewReader would
+// also satisfy io.ByteReader and friends; this keeps the source
+// minimal, like a net.Conn).
+func iotest(b []byte) io.Reader { return &onlyReader{bytes.NewReader(b)} }
+
+type onlyReader struct{ r io.Reader }
+
+func (o *onlyReader) Read(p []byte) (int, error) { return o.r.Read(p) }

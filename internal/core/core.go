@@ -415,6 +415,13 @@ func (c *chunk) decodePlain(payload []byte) error {
 		}
 	}
 	c.plain = sink.Out
+	if c.plain == nil {
+		// Keep the empty-output case classified as a plain chunk:
+		// layout and pass 2 distinguish plain from symbolic chunks by
+		// plain != nil (an empty first chunk happens when an empty
+		// member precedes further members in one buffer).
+		c.plain = []byte{}
+	}
 	if stopper != nil && stopper.stoppedAt >= 0 {
 		c.endBit = stopper.stoppedAt
 	} else {

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/srcbuf"
+	"repro/internal/tracked"
+)
+
+// PipelineOptions configures a streaming Pipeline.
+type PipelineOptions struct {
+	// Threads is the number of parallel chunks per batch.
+	Threads int
+	// BatchCompressedBytes is the compressed size of one batch
+	// (default 4 MiB x Threads, min 64 KiB).
+	BatchCompressedBytes int
+	// MinChunk, Confirmations, ValidByte, Sequential: as in Options.
+	MinChunk      int
+	Confirmations int
+	ValidByte     func(byte) bool
+	Sequential    bool
+	// ReadSize is the capacity of a single source read issued by the
+	// reader goroutine (default srcbuf.DefaultReadSize).
+	ReadSize int
+	// Prefetch is how many source reads the reader goroutine may run
+	// ahead of decoding — the back-pressure bound (default
+	// srcbuf.DefaultPrefetch).
+	Prefetch int
+	// MaxWindowBytes caps how far the compressed window may grow while
+	// retrying a failed batch (a block straddling the window end, or
+	// non-text content defeating boundary detection). Without a cap, a
+	// corrupt stream would buffer the entire remaining source before
+	// erroring. Default max(64 MiB, 4 x batch); always at least one
+	// batch plus slack.
+	MaxWindowBytes int
+}
+
+// batchSlack is how far past the nominal batch end the window is
+// pre-filled, so the batch-terminating block boundary and its
+// confirmation blocks are usually resident on the first decode attempt.
+const batchSlack = 256 << 10
+
+// Pipeline decompresses raw DEFLATE streams pulled from an io.Reader
+// with bounded memory: a reader goroutine fills the compressed window
+// (srcbuf.Window), each batch is decoded by Threads workers with
+// symbolic contexts, and batches are resolved and emitted in order.
+// Peak memory is O(batch x threads + window), independent of the
+// source size.
+//
+// A Pipeline processes one or more consecutive DEFLATE streams (gzip
+// members) from the same source: callers interleave their own framing
+// reads on Window() with RunMember calls. It is not safe for concurrent
+// use.
+type Pipeline struct {
+	win        *srcbuf.Window
+	inner      Options
+	batchBytes int
+	maxWindow  int
+
+	batches  atomic.Int64
+	outBytes atomic.Int64
+}
+
+// BatchCount returns the number of batches emitted so far, across all
+// RunMember calls. Safe from any goroutine.
+func (p *Pipeline) BatchCount() int { return int(p.batches.Load()) }
+
+// OutBytes returns the decompressed bytes emitted so far, across all
+// RunMember calls. Safe from any goroutine.
+func (p *Pipeline) OutBytes() int64 { return p.outBytes.Load() }
+
+// NewPipeline returns a Pipeline reading compressed bytes from r.
+func NewPipeline(r io.Reader, o PipelineOptions) *Pipeline {
+	n := o.Threads
+	if n < 1 {
+		n = 1
+	}
+	batchBytes := o.BatchCompressedBytes
+	if batchBytes <= 0 {
+		batchBytes = 4 << 20 * n
+	}
+	if batchBytes < 64<<10 {
+		batchBytes = 64 << 10
+	}
+	inner := Options{
+		Threads:       n,
+		MinChunk:      o.MinChunk,
+		Confirmations: o.Confirmations,
+		ValidByte:     o.ValidByte,
+		Sequential:    o.Sequential,
+	}
+	if inner.MinChunk <= 0 {
+		inner.MinChunk = defaultMinChunk
+	}
+	maxWindow := o.MaxWindowBytes
+	if maxWindow <= 0 {
+		maxWindow = 64 << 20
+		if m := 4 * batchBytes; m > maxWindow {
+			maxWindow = m
+		}
+	}
+	if floor := batchBytes + batchSlack; maxWindow < floor {
+		maxWindow = floor
+	}
+	return &Pipeline{
+		win:        srcbuf.New(r, o.ReadSize, o.Prefetch),
+		inner:      inner,
+		batchBytes: batchBytes,
+		maxWindow:  maxWindow,
+	}
+}
+
+// Window exposes the pipeline's compressed window so callers can parse
+// stream framing (gzip headers and trailers) from the same source
+// without buffering it twice.
+func (p *Pipeline) Window() *srcbuf.Window { return p.win }
+
+// Close stops the source reader goroutine and unblocks any RunMember
+// waiting on source data. Safe to call from any goroutine.
+func (p *Pipeline) Close() { p.win.Close() }
+
+// RunMember decodes one raw DEFLATE stream starting at the window's
+// current position, invoking emit with consecutive decompressed batches
+// (each a freshly allocated slice the callee may retain). It returns
+// the absolute source bit offset just past the stream's final block and
+// leaves the window positioned at the byte containing that bit, so the
+// caller can resume framing at the following byte boundary.
+func (p *Pipeline) RunMember(emit func([]byte) error) (int64, error) {
+	ctx := make([]byte, tracked.WindowSize)
+	startBit := p.win.Base() * 8
+	for {
+		batch, err := p.decodeNext(startBit, ctx)
+		if err != nil {
+			return 0, err
+		}
+		if err := emit(batch.out); err != nil {
+			return 0, err
+		}
+		p.batches.Add(1)
+		p.outBytes.Add(int64(len(batch.out)))
+		ctx = batch.window
+		endAbs := p.win.Base()*8 + batch.endBit
+		p.win.DiscardTo(endAbs / 8)
+		startBit = endAbs
+		if batch.final {
+			return endAbs, nil
+		}
+	}
+}
+
+// decodeNext decodes the batch beginning at absolute bit startBit,
+// growing the window and retrying when a decode runs off the buffered
+// data before the source is exhausted. A decode of a window prefix that
+// succeeds is identical to the decode over the full stream (DEFLATE is
+// prefix-deterministic), so retry is only ever needed on error.
+func (p *Pipeline) decodeNext(startBit int64, ctx []byte) (*batchResult, error) {
+	need := p.batchBytes + batchSlack
+	for {
+		if err := p.win.Fill(need); errors.Is(err, srcbuf.ErrClosed) {
+			return nil, err
+		}
+		// Decode whatever is resident even if the source just failed:
+		// an io.Reader may deliver its final bytes alongside its error.
+		rel := startBit - p.win.Base()*8
+		batch, err := decodeBatch(p.win.Bytes(), rel, p.batchBytes, ctx, p.inner)
+		if err == nil {
+			return batch, nil
+		}
+		if p.win.EOF() {
+			if srcErr := p.win.Err(); srcErr != nil {
+				return nil, srcErr
+			}
+			return nil, err
+		}
+		// The failure may be an artifact of decoding a truncated window
+		// (a block straddling the window end): buffer more and retry.
+		// Doubling keeps pathological retries O(log n); the cap keeps a
+		// genuinely corrupt stream from buffering the whole source.
+		cur := p.win.Len()
+		if cur >= p.maxWindow {
+			return nil, fmt.Errorf("core: batch at bit %d undecodable within %d-byte window (corrupt stream?): %w",
+				startBit, cur, err)
+		}
+		need = 2 * cur
+		if need > p.maxWindow {
+			need = p.maxWindow
+		}
+	}
+}
+
+// StreamOptions configures bounded-memory streaming decompression of an
+// in-memory payload (the slice-based veneer over Pipeline).
+//
+// Section VIII of the paper notes that pugz "requires the whole
+// decompressed file to reside in memory, yet further engineering
+// efforts could lift this limitation with little projected impact on
+// performance". This is that engineering effort: the payload is
+// processed in batches of Threads chunks; each batch is decompressed
+// in parallel with symbolic contexts, resolved against the window
+// carried from the previous batch, emitted, and freed. Peak memory is
+// O(BatchBytes x expansion) instead of O(file).
+type StreamOptions struct {
+	// Threads is the number of parallel chunks per batch.
+	Threads int
+	// BatchCompressedBytes is the compressed size of one batch
+	// (default 4 MiB x Threads, min 64 KiB).
+	BatchCompressedBytes int
+	// MinChunk, Confirmations, ValidByte, Sequential: as in Options.
+	MinChunk      int
+	Confirmations int
+	ValidByte     func(byte) bool
+	Sequential    bool
+}
+
+// StreamResult reports a finished streaming run.
+type StreamResult struct {
+	Batches       int
+	OutBytes      int64
+	PayloadEndBit int64
+	Wall          time.Duration
+}
+
+// DecompressStream decompresses a raw DEFLATE stream held in memory in
+// bounded batches, invoking emit with consecutive decompressed slices.
+// The concatenation of all emitted slices is byte-identical to a
+// sequential decode. It is Pipeline over a bytes-like reader; use
+// NewPipeline directly for true io.Reader sources.
+func DecompressStream(payload []byte, o StreamOptions, emit func([]byte) error) (*StreamResult, error) {
+	t0 := time.Now()
+	p := NewPipeline(bytes.NewReader(payload), PipelineOptions{
+		Threads:              o.Threads,
+		BatchCompressedBytes: o.BatchCompressedBytes,
+		MinChunk:             o.MinChunk,
+		Confirmations:        o.Confirmations,
+		ValidByte:            o.ValidByte,
+		Sequential:           o.Sequential,
+		// The payload is already materialized; let the window cover it
+		// all so degraded (non-text) streams decode like the whole-file
+		// engine would.
+		MaxWindowBytes: len(payload) + 1,
+	})
+	defer p.Close()
+	endBit, err := p.RunMember(emit)
+	if err != nil {
+		return nil, fmt.Errorf("core: stream batch %d: %w", p.BatchCount(), err)
+	}
+	return &StreamResult{
+		Batches:       p.BatchCount(),
+		OutBytes:      p.OutBytes(),
+		PayloadEndBit: endBit,
+		Wall:          time.Since(t0),
+	}, nil
+}

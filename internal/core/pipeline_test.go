@@ -1,0 +1,128 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fastq"
+)
+
+// TestPipelineWindowGrowthOnBinaryData exercises decodeNext's
+// grow-and-retry path deterministically: high-entropy binary content
+// fails the stringent text checks block detection relies on, so no
+// batch-terminating boundary is ever confirmed, every batch decode
+// runs off the window end, and the pipeline must keep growing the
+// window until the member is resident — degrading to a sequential
+// whole-member decode but still producing exact output.
+func TestPipelineWindowGrowthOnBinaryData(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := make([]byte, 384<<10)
+	rng.Read(data)
+	payload := mustCompress(t, data, 1)
+	if len(payload) < 3*(64<<10) {
+		t.Fatalf("payload too small (%d) to force growth", len(payload))
+	}
+	var got []byte
+	res, err := DecompressStream(payload, StreamOptions{
+		Threads:              4,
+		BatchCompressedBytes: 1, // clamped to the 64 KiB floor
+		MinChunk:             8 << 10,
+	}, func(p []byte) error {
+		got = append(got, p...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("binary stream mismatch (%d vs %d bytes)", len(got), len(data))
+	}
+	if res.Batches != 1 {
+		t.Fatalf("expected the fallback to decode one grown batch, got %d", res.Batches)
+	}
+}
+
+// repeatReader yields the same byte forever — a socket that keeps
+// producing bytes that will never decode.
+type repeatReader struct{ b byte }
+
+func (r repeatReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = r.b
+	}
+	return len(p), nil
+}
+
+// TestPipelineWindowCapOnCorruptStream: a stream that can never decode
+// must hit the MaxWindowBytes cap and error out — not buffer the
+// entire (here: endless) source, and not hang.
+func TestPipelineWindowCapOnCorruptStream(t *testing.T) {
+	// 0xff everywhere reads as BTYPE=3 (reserved) at every batch start:
+	// undecodable, while the source never reaches EOF.
+	const capBytes = 512 << 10
+	p := NewPipeline(repeatReader{0xff}, PipelineOptions{
+		Threads:              2,
+		BatchCompressedBytes: 64 << 10,
+		MinChunk:             8 << 10,
+		MaxWindowBytes:       capBytes,
+		ReadSize:             64 << 10,
+	})
+	defer p.Close()
+	_, err := p.RunMember(func([]byte) error { return nil })
+	if err == nil {
+		t.Fatal("undecodable stream decoded")
+	}
+	if max := p.Window().MaxBuffered(); max > capBytes+2*(64<<10) {
+		t.Fatalf("window grew to %d despite %d cap", max, capBytes)
+	}
+}
+
+// TestPipelineInterleavedMembers drives RunMember twice on one source
+// with framing bytes between the streams, the way the gzip layer does:
+// the window must come back positioned exactly at each member's end.
+func TestPipelineInterleavedMembers(t *testing.T) {
+	a := fastq.Generate(fastq.GenOptions{Reads: 5000, Seed: 61})
+	b := fastq.Generate(fastq.GenOptions{Reads: 5000, Seed: 62})
+	pa := mustCompress(t, a, 6)
+	pb := mustCompress(t, b, 6)
+	frame := []byte{0xde, 0xad, 0xbe, 0xef} // stand-in trailer+header
+	src := append(append(append([]byte{}, pa...), frame...), pb...)
+
+	p := NewPipeline(bytes.NewReader(src), PipelineOptions{
+		Threads:              3,
+		BatchCompressedBytes: 128 << 10,
+		MinChunk:             8 << 10,
+	})
+	defer p.Close()
+
+	var out []byte
+	collect := func(buf []byte) error { out = append(out, buf...); return nil }
+
+	end, err := p.RunMember(collect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, a) {
+		t.Fatalf("member A mismatch (%d vs %d bytes)", len(out), len(a))
+	}
+	// Skip the padding bits and the framing, as the gzip layer would.
+	w := p.Window()
+	w.DiscardTo((end + 7) / 8)
+	got, err := w.Peek(len(frame))
+	if err != nil || !bytes.Equal(got, frame) {
+		t.Fatalf("framing bytes not at window head: %q, %v", got, err)
+	}
+	w.Discard(len(frame))
+
+	out = nil
+	if _, err := p.RunMember(collect); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, b) {
+		t.Fatalf("member B mismatch (%d vs %d bytes)", len(out), len(b))
+	}
+	if p.BatchCount() < 2 {
+		t.Fatalf("batches = %d across two members", p.BatchCount())
+	}
+}

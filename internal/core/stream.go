@@ -8,91 +8,11 @@ import (
 	"repro/internal/tracked"
 )
 
-// StreamOptions configures bounded-memory streaming decompression.
-//
-// Section VIII of the paper notes that pugz "requires the whole
-// decompressed file to reside in memory, yet further engineering
-// efforts could lift this limitation with little projected impact on
-// performance". This is that engineering effort: the payload is
-// processed in batches of Threads chunks; each batch is decompressed
-// in parallel with symbolic contexts, resolved against the window
-// carried from the previous batch, emitted, and freed. Peak memory is
-// O(BatchBytes x expansion) instead of O(file).
-type StreamOptions struct {
-	// Threads is the number of parallel chunks per batch.
-	Threads int
-	// BatchCompressedBytes is the compressed size of one batch
-	// (default 4 MiB x Threads, min 64 KiB).
-	BatchCompressedBytes int
-	// MinChunk, Confirmations, ValidByte, Sequential: as in Options.
-	MinChunk      int
-	Confirmations int
-	ValidByte     func(byte) bool
-	Sequential    bool
-}
-
-// StreamResult reports a finished streaming run.
-type StreamResult struct {
-	Batches       int
-	OutBytes      int64
-	PayloadEndBit int64
-	Wall          time.Duration
-}
-
-// DecompressStream decompresses a raw DEFLATE stream in bounded
-// memory, invoking emit with consecutive decompressed slices (valid
-// only during the call). The concatenation of all emitted slices is
-// byte-identical to a sequential decode.
-func DecompressStream(payload []byte, o StreamOptions, emit func([]byte) error) (*StreamResult, error) {
-	t0 := time.Now()
-	n := o.Threads
-	if n < 1 {
-		n = 1
-	}
-	batchBytes := o.BatchCompressedBytes
-	if batchBytes <= 0 {
-		batchBytes = 4 << 20 * n
-	}
-	if batchBytes < 64<<10 {
-		batchBytes = 64 << 10
-	}
-	inner := Options{
-		Threads:       n,
-		MinChunk:      o.MinChunk,
-		Confirmations: o.Confirmations,
-		ValidByte:     o.ValidByte,
-		Sequential:    o.Sequential,
-	}
-	if inner.MinChunk <= 0 {
-		inner.MinChunk = defaultMinChunk
-	}
-
-	res := &StreamResult{}
-	// ctx is the resolved 32 KiB window preceding the current batch;
-	// zero-filled at stream start (no valid stream references it).
-	ctx := make([]byte, tracked.WindowSize)
-	startBit := int64(0)
-
-	for {
-		batch, err := decodeBatch(payload, startBit, batchBytes, ctx, inner)
-		if err != nil {
-			return nil, fmt.Errorf("core: stream batch %d: %w", res.Batches, err)
-		}
-		if err := emit(batch.out); err != nil {
-			return nil, err
-		}
-		res.Batches++
-		res.OutBytes += int64(len(batch.out))
-		ctx = batch.window
-		startBit = batch.endBit
-		if batch.final {
-			res.PayloadEndBit = batch.endBit
-			break
-		}
-	}
-	res.Wall = time.Since(t0)
-	return res, nil
-}
+// This file holds the per-batch decoder shared by Pipeline (io.Reader
+// sources) and DecompressStream (in-memory payloads): one batch is the
+// unit of bounded-memory work — Threads chunks found, decoded with
+// symbolic contexts, resolved against the window carried in from the
+// previous batch, and translated in parallel.
 
 // batchResult is one decoded batch.
 type batchResult struct {
@@ -104,7 +24,10 @@ type batchResult struct {
 
 // decodeBatch decompresses the batch starting at startBit (a true
 // block start) whose compressed extent is roughly batchBytes, given
-// the resolved context that precedes it.
+// the resolved context that precedes it. payload may be a window onto a
+// longer stream: a successful decode of a prefix is identical to the
+// decode over the full stream, and a decode that runs off the end of
+// the window fails (the caller buffers more and retries).
 func decodeBatch(payload []byte, startBit int64, batchBytes int, ctx []byte, o Options) (*batchResult, error) {
 	startByte := startBit / 8
 	endByte := startByte + int64(batchBytes)

@@ -7,6 +7,7 @@
 package gzipx
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -96,70 +97,11 @@ func xflForLevel(level int) byte {
 	}
 }
 
-// ParseHeader parses a member header at the start of data.
+// ParseHeader parses a member header at the start of data. It is
+// ReadHeader over the slice: both paths share one parser so the
+// streaming and whole-file layers can never diverge.
 func ParseHeader(data []byte) (Member, error) {
-	var m Member
-	if len(data) < 10 {
-		return m, ErrTruncated
-	}
-	if data[0] != id1 || data[1] != id2 {
-		return m, ErrBadMagic
-	}
-	if data[2] != cmDeflate {
-		return m, fmt.Errorf("%w: CM=%d", ErrBadMethod, data[2])
-	}
-	flg := data[3]
-	if flg&0xe0 != 0 {
-		return m, ErrBadFlags
-	}
-	m.XFL = data[8]
-	m.OS = data[9]
-	pos := 10
-	if flg&flgFEXTRA != 0 {
-		if len(data) < pos+2 {
-			return m, ErrTruncated
-		}
-		xlen := int(binary.LittleEndian.Uint16(data[pos:]))
-		pos += 2 + xlen
-		if len(data) < pos {
-			return m, ErrTruncated
-		}
-	}
-	readZString := func() (string, error) {
-		start := pos
-		for {
-			if pos >= len(data) {
-				return "", ErrTruncated
-			}
-			if data[pos] == 0 {
-				pos++
-				return string(data[start : pos-1]), nil
-			}
-			pos++
-		}
-	}
-	if flg&flgFNAME != 0 {
-		s, err := readZString()
-		if err != nil {
-			return m, err
-		}
-		m.Name = s
-	}
-	if flg&flgFCOMMENT != 0 {
-		s, err := readZString()
-		if err != nil {
-			return m, err
-		}
-		m.Comment = s
-	}
-	if flg&flgFHCRC != 0 {
-		pos += 2
-		if len(data) < pos {
-			return m, ErrTruncated
-		}
-	}
-	m.HeaderLen = pos
-	return m, nil
+	return ReadHeader(bytes.NewReader(data))
 }
 
 // Options controls member creation.

@@ -4,17 +4,34 @@
 // decompression of arbitrary gzip-compressed text files, plus random
 // access to DNA sequences inside gzip-compressed FASTQ files.
 //
-// The three entry points mirror the paper's three capabilities:
+// There are two decompression APIs sharing one parallel engine:
 //
-//   - Decompress performs exact two-pass parallel decompression of a
-//     whole gzip file (the pugz algorithm, Section VI-C).
-//   - FindBlock / ScanBlocks locate DEFLATE block boundaries, either
-//     by brute-force bit scanning from an arbitrary compressed offset
-//     (Section VI-A) or exhaustively during a sequential decode.
-//   - RandomAccess decompresses from an arbitrary compressed offset
-//     with an undetermined context and extracts DNA sequences from
-//     the partially resolved text (Sections IV and VI-B, the fqgz
-//     prototype).
+//   - NewReader is the streaming API: it wraps any io.Reader — a
+//     file, a pipe, a socket — in an io.ReadCloser whose output is
+//     byte-identical to gunzip's across all members. A reader
+//     goroutine fills a bounded compressed window, Threads workers
+//     decode each batch's chunks with symbolic contexts, and batches
+//     are resolved and emitted in order with back-pressure, so peak
+//     memory is O(batch x threads) regardless of stream size — the
+//     paper's Section VIII memory limitation, lifted in both
+//     directions.
+//
+//     r, _ := pugz.NewReader(src, pugz.StreamOptions{Threads: 8})
+//     defer r.Close()
+//     io.Copy(dst, r)
+//
+//   - Decompress is the slice API: exact two-pass parallel
+//     decompression of a whole in-memory gzip file (the pugz
+//     algorithm, Section VI-C), returning per-chunk phase statistics
+//     for the paper's experiments.
+//
+// The remaining entry points mirror the paper's other capabilities:
+// FindBlock / ScanBlocks locate DEFLATE block boundaries, either by
+// brute-force bit scanning from an arbitrary compressed offset
+// (Section VI-A) or exhaustively during a sequential decode, and
+// RandomAccess decompresses from an arbitrary compressed offset with
+// an undetermined context and extracts DNA sequences from the
+// partially resolved text (Sections IV and VI-B, the fqgz prototype).
 //
 // A Compress helper (gzip-compatible output with zlib level semantics,
 // levels 0-9) is included so corpora for the paper's experiments can

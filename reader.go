@@ -1,43 +1,45 @@
 package pugz
 
 import (
-	"encoding/binary"
+	"bytes"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/gzipx"
+	"repro/internal/srcbuf"
 )
 
-// Reader streams parallel-decompressed gzip content with bounded
-// memory — the "further engineering efforts" lifting of the paper's
-// whole-file-in-memory limitation (Section VIII). The compressed file
-// still resides in memory (as in the paper's benchmarks); the
-// *decompressed* stream is produced batch by batch, so peak memory is
-// O(batch) instead of O(output).
+// Reader streams parallel-decompressed gzip content from an arbitrary
+// io.Reader with bounded memory — the "further engineering efforts"
+// lifting of the paper's whole-file-in-memory limitation (Section
+// VIII), for both directions: neither the compressed input nor the
+// decompressed output is ever materialized in full. A reader goroutine
+// fills a bounded compressed window from the source, Threads workers
+// decode each batch's chunks with symbolic contexts, and an in-order
+// resolver emits batches to Read with back-pressure, so peak memory is
+// O(batch x threads), independent of the stream size.
 //
-// Reader implements io.Reader; the byte stream is identical to
-// gunzip's output across all members.
+// Reader implements io.ReadCloser; the byte stream is identical to
+// gunzip's output across all members of a multi-member file.
 type Reader struct {
-	opts    StreamOptions
-	rest    []byte // unparsed remainder of the gzip file
-	payload []byte // current member's payload
-	crc     uint32 // running CRC of the current member
-	isize   uint32
+	opts StreamOptions
+	p    *core.Pipeline
 
-	batches chan streamBatch
+	batches chan []byte
 	errc    chan error
 	cancel  chan struct{}
 
 	cur     []byte // unread part of the current batch
 	done    bool
 	readErr error
-}
 
-type streamBatch struct {
-	data []byte
+	closeOnce sync.Once
+	members   atomic.Int64
 }
 
 // StreamOptions configures a Reader.
@@ -52,19 +54,57 @@ type StreamOptions struct {
 	// VerifyChecksums verifies each member's CRC-32 and ISIZE as the
 	// stream completes.
 	VerifyChecksums bool
+	// ReadSize is the capacity of a single read issued against the
+	// source (default 512 KiB). Lower it to tighten the memory bound
+	// for small batch sizes.
+	ReadSize int
+	// Prefetch is how many source reads may be buffered ahead of
+	// decoding (default 2) — the source-side back-pressure bound.
+	Prefetch int
+	// MaxWindowBytes caps compressed-window growth while the pipeline
+	// retries a batch that would not decode (corrupt or non-text
+	// streams). Default max(64 MiB, 4 x batch).
+	MaxWindowBytes int
 }
 
-// NewReader returns a streaming parallel decompressor over a complete
-// in-memory gzip file. Callers should Close it to release the worker
-// if they stop reading early.
-func NewReader(gz []byte, o StreamOptions) (*Reader, error) {
-	if _, err := gzipx.ParseHeader(gz); err != nil {
+// ReaderStats reports how a streaming run went. Snapshot via
+// Reader.Stats; values are final once Read has returned io.EOF.
+type ReaderStats struct {
+	// Members is the number of gzip members completed.
+	Members int
+	// Batches is the number of decompressed batches emitted.
+	Batches int
+	// OutBytes is the total decompressed size so far.
+	OutBytes int64
+	// MaxBufferedCompressed is the high-water mark of compressed bytes
+	// resident in the source window — the evidence that the compressed
+	// stream was never slurped.
+	MaxBufferedCompressed int64
+}
+
+// NewReader returns a streaming parallel decompressor over an
+// arbitrary gzip source: a file, a pipe, a socket, or an in-memory
+// slice via bytes.NewReader (see NewReaderBytes). The first member
+// header is read (and validated) before NewReader returns, like
+// compress/gzip's NewReader. Callers should Close the Reader to
+// release the pipeline if they stop reading early.
+func NewReader(src io.Reader, o StreamOptions) (*Reader, error) {
+	p := core.NewPipeline(src, core.PipelineOptions{
+		Threads:              o.Threads,
+		BatchCompressedBytes: o.BatchCompressedBytes,
+		MinChunk:             o.MinChunk,
+		ReadSize:             o.ReadSize,
+		Prefetch:             o.Prefetch,
+		MaxWindowBytes:       o.MaxWindowBytes,
+	})
+	if _, err := gzipx.ReadHeader(p.Window()); err != nil {
+		p.Close()
 		return nil, err
 	}
 	r := &Reader{
 		opts:    o,
-		rest:    gz,
-		batches: make(chan streamBatch, 2),
+		p:       p,
+		batches: make(chan []byte, 2),
 		errc:    make(chan error, 1),
 		cancel:  make(chan struct{}),
 	}
@@ -72,64 +112,92 @@ func NewReader(gz []byte, o StreamOptions) (*Reader, error) {
 	return r, nil
 }
 
-// run walks members and batches in a worker goroutine.
+// NewReaderBytes is NewReader over an in-memory gzip file.
+func NewReaderBytes(gz []byte, o StreamOptions) (*Reader, error) {
+	return NewReader(bytes.NewReader(gz), o)
+}
+
+var errStreamCancelled = errors.New("pugz: stream cancelled")
+
+// run walks members in a worker goroutine: the header of the current
+// member is always already consumed when the loop body starts.
 func (r *Reader) run() {
 	defer close(r.batches)
-	for len(r.rest) > 0 {
-		member, err := gzipx.ParseHeader(r.rest)
-		if err != nil {
-			r.errc <- err
-			return
-		}
-		payload := r.rest[member.HeaderLen:]
-		r.crc = 0
-		r.isize = 0
-		res, err := core.DecompressStream(payload, core.StreamOptions{
-			Threads:              r.opts.Threads,
-			BatchCompressedBytes: r.opts.BatchCompressedBytes,
-			MinChunk:             r.opts.MinChunk,
-		}, func(p []byte) error {
+	win := r.p.Window()
+	for {
+		var crc, isize uint32
+		endBit, err := r.p.RunMember(func(b []byte) error {
 			if r.opts.VerifyChecksums {
-				r.crc = crc32.Update(r.crc, crc32.IEEETable, p)
-				r.isize += uint32(len(p))
+				crc = crc32.Update(crc, crc32.IEEETable, b)
+				isize += uint32(len(b))
 			}
-			// Hand the batch to the consumer; the engine allocates a
+			// Hand the batch to the consumer; the pipeline allocates a
 			// fresh buffer per batch, so ownership transfer is safe.
 			select {
-			case r.batches <- streamBatch{data: p}:
+			case r.batches <- b:
 				return nil
 			case <-r.cancel:
 				return errStreamCancelled
 			}
 		})
 		if err != nil {
-			if !errors.Is(err, errStreamCancelled) {
-				r.errc <- err
-			}
+			r.fail(err)
 			return
 		}
-		endByte := int((res.PayloadEndBit + 7) / 8)
-		if len(payload) < endByte+8 {
-			r.errc <- gzipx.ErrTruncated
+		// The member's final block ends at endBit; the trailer begins
+		// at the next byte boundary.
+		win.DiscardTo((endBit + 7) / 8)
+		wantCRC, wantISize, err := gzipx.ReadTrailer(win)
+		if err != nil {
+			r.fail(err)
 			return
 		}
 		if r.opts.VerifyChecksums {
-			wantCRC := binary.LittleEndian.Uint32(payload[endByte:])
-			wantISize := binary.LittleEndian.Uint32(payload[endByte+4:])
-			if r.crc != wantCRC {
-				r.errc <- fmt.Errorf("%w: CRC-32", ErrChecksum)
+			if crc != wantCRC {
+				r.fail(fmt.Errorf("%w: CRC-32", ErrChecksum))
 				return
 			}
-			if r.isize != wantISize {
-				r.errc <- fmt.Errorf("%w: ISIZE", ErrChecksum)
+			if isize != wantISize {
+				r.fail(fmt.Errorf("%w: ISIZE", ErrChecksum))
 				return
 			}
 		}
-		r.rest = payload[endByte+8:]
+		r.members.Add(1)
+		// Another member, or a clean end of stream?
+		if err := win.Fill(1); err != nil {
+			r.fail(err)
+			return
+		}
+		if win.Len() == 0 {
+			return // clean EOF
+		}
+		if _, err := gzipx.ReadHeader(win); err != nil {
+			r.fail(err)
+			return
+		}
 	}
 }
 
-var errStreamCancelled = errors.New("pugz: stream cancelled")
+// fail records a terminal error for Read to surface, swallowing the
+// sentinels that only mean "the consumer closed us first".
+func (r *Reader) fail(err error) {
+	if errors.Is(err, errStreamCancelled) || errors.Is(err, srcbuf.ErrClosed) {
+		return
+	}
+	r.errc <- err
+}
+
+// Stats returns a snapshot of the run's progress counters (sourced
+// from the pipeline, which owns them). Values are final once Read has
+// returned io.EOF or an error.
+func (r *Reader) Stats() ReaderStats {
+	return ReaderStats{
+		Members:               int(r.members.Load()),
+		Batches:               r.p.BatchCount(),
+		OutBytes:              r.p.OutBytes(),
+		MaxBufferedCompressed: r.p.Window().MaxBuffered(),
+	}
+}
 
 // Read implements io.Reader.
 func (r *Reader) Read(p []byte) (int, error) {
@@ -154,21 +222,22 @@ func (r *Reader) Read(p []byte) (int, error) {
 				return 0, io.EOF
 			}
 		}
-		r.cur = b.data
+		r.cur = b
 	}
 	n := copy(p, r.cur)
 	r.cur = r.cur[n:]
 	return n, nil
 }
 
-// Close stops the worker goroutine. It is safe to call multiple times
-// and after EOF.
+// Close stops the pipeline and its source-reader goroutine. It is safe
+// to call multiple times and after EOF. Close does not close the
+// underlying source reader.
 func (r *Reader) Close() error {
-	select {
-	case <-r.cancel:
-	default:
-		close(r.cancel)
-	}
+	// Signal both blocking points — the batch hand-off and the source
+	// window — before draining, so the worker exits even while waiting
+	// on a slow or stalled source.
+	r.closeOnce.Do(func() { close(r.cancel) })
+	r.p.Close()
 	// Drain so the worker can exit if blocked on send.
 	for range r.batches {
 	}

@@ -15,7 +15,7 @@ func TestStreamingReaderMatchesWhole(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		r, err := NewReader(gz, StreamOptions{
+		r, err := NewReaderBytes(gz, StreamOptions{
 			Threads:              4,
 			BatchCompressedBytes: 256 << 10, // force many batches
 			MinChunk:             16 << 10,
@@ -43,7 +43,7 @@ func TestStreamingReaderMultiMember(t *testing.T) {
 	ga, _ := Compress(a, 6)
 	gb, _ := Compress(b, 1)
 	gz := append(append([]byte{}, ga...), gb...)
-	r, err := NewReader(gz, StreamOptions{Threads: 3, BatchCompressedBytes: 128 << 10, MinChunk: 8 << 10, VerifyChecksums: true})
+	r, err := NewReaderBytes(gz, StreamOptions{Threads: 3, BatchCompressedBytes: 128 << 10, MinChunk: 8 << 10, VerifyChecksums: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestStreamingReaderMultiMember(t *testing.T) {
 func TestStreamingReaderSmallReads(t *testing.T) {
 	data := genFastq(4000, 34)
 	gz, _ := Compress(data, 6)
-	r, err := NewReader(gz, StreamOptions{Threads: 2, BatchCompressedBytes: 64 << 10, MinChunk: 8 << 10})
+	r, err := NewReaderBytes(gz, StreamOptions{Threads: 2, BatchCompressedBytes: 64 << 10, MinChunk: 8 << 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestStreamingReaderSmallReads(t *testing.T) {
 func TestStreamingReaderEarlyClose(t *testing.T) {
 	data := genFastq(30000, 35)
 	gz, _ := Compress(data, 6)
-	r, err := NewReader(gz, StreamOptions{Threads: 4, BatchCompressedBytes: 64 << 10, MinChunk: 8 << 10})
+	r, err := NewReaderBytes(gz, StreamOptions{Threads: 4, BatchCompressedBytes: 64 << 10, MinChunk: 8 << 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestStreamingReaderChecksumFailure(t *testing.T) {
 	data := genFastq(6000, 36)
 	gz, _ := Compress(data, 6)
 	gz[len(gz)-6] ^= 0xff // corrupt stored CRC
-	r, err := NewReader(gz, StreamOptions{Threads: 2, VerifyChecksums: true, BatchCompressedBytes: 64 << 10, MinChunk: 8 << 10})
+	r, err := NewReaderBytes(gz, StreamOptions{Threads: 2, VerifyChecksums: true, BatchCompressedBytes: 64 << 10, MinChunk: 8 << 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestStreamingReaderChecksumFailure(t *testing.T) {
 }
 
 func TestStreamingReaderBadHeader(t *testing.T) {
-	if _, err := NewReader([]byte("not a gzip file"), StreamOptions{}); err == nil {
+	if _, err := NewReaderBytes([]byte("not a gzip file"), StreamOptions{}); err == nil {
 		t.Fatal("bad header accepted")
 	}
 }
@@ -132,7 +132,7 @@ func TestStreamingReaderTinyBatches(t *testing.T) {
 	// Batch size below the floor still works (clamped to 64 KiB).
 	data := fastq.Generate(fastq.GenOptions{Reads: 3000, Seed: 37})
 	gz, _ := Compress(data, 6)
-	r, err := NewReader(gz, StreamOptions{Threads: 2, BatchCompressedBytes: 1, MinChunk: 4 << 10})
+	r, err := NewReaderBytes(gz, StreamOptions{Threads: 2, BatchCompressedBytes: 1, MinChunk: 4 << 10})
 	if err != nil {
 		t.Fatal(err)
 	}

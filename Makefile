@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci vet build test race fuzz-smoke bench clean
+.PHONY: ci vet build test race fuzz-smoke bench bench-smoke clean
 
 ci: vet build race fuzz-smoke
 
@@ -25,8 +25,19 @@ fuzz-smoke:
 	$(GO) test . -run '^$$' -fuzz FuzzDecompress -fuzztime $(FUZZTIME)
 	$(GO) test . -run '^$$' -fuzz FuzzNewReader -fuzztime $(FUZZTIME)
 
+# Full benchmark sweep with allocation accounting, captured as test2json
+# event lines for the perf trajectory (BENCH_PR2.json, ...); BENCHTIME
+# can be raised for stable numbers on quiet hardware.
+BENCHTIME ?= 1x
+BENCHOUT ?= BENCH_PR2.json
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) test -json -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . > $(BENCHOUT)
+	@grep -o '"Output":"Benchmark[^"]*"' $(BENCHOUT) | sed 's/"Output":"//;s/"$$//;s/\\t/\t/g;s/\\n//' || true
+
+# Quick smoke: every benchmark runs once, no JSON capture. CI uses this
+# to catch bit-rotted benchmark code without paying for real timings.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
 clean:
 	rm -rf .tmp

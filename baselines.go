@@ -46,10 +46,60 @@ func (ix *Index) Size() int64 { return ix.inner.OutSize }
 // Checkpoints returns the number of restart points.
 func (ix *Index) Checkpoints() int { return len(ix.inner.Checkpoints) }
 
+// spacing estimates the checkpoint interval in decompressed bytes —
+// the cost of one checkpoint-to-offset inflate, used to decide when a
+// forward-scanning cursor beats an indexed read.
+func (ix *Index) spacing() int64 {
+	n := len(ix.inner.Checkpoints)
+	if n < 1 {
+		n = 1
+	}
+	return ix.inner.OutSize/int64(n) + 1
+}
+
+// coversWholeFile reports whether the indexed member is the entire
+// compressed file (payload + trailer reach exactly to csize): then the
+// index's output size is the file's total decompressed size.
+func (ix *Index) coversWholeFile(csize int64) bool {
+	return ix.payloadOff+(ix.inner.EndBit+7)/8+8 == csize
+}
+
 // ReadAt fills p with decompressed bytes starting at offset off,
 // inflating only from the nearest checkpoint.
 func (ix *Index) ReadAt(gz []byte, p []byte, off int64) (int, error) {
 	return ix.inner.ReadAt(gz[ix.payloadOff:], p, off)
+}
+
+// readAtSource is ReadAt over a File's byte source: the compressed
+// window is loaded on demand starting at the governing checkpoint and
+// grown geometrically until the read decodes (in-memory sources alias
+// the slice and decode in one attempt).
+func (ix *Index) readAtSource(f *File, p []byte, off int64) (int, error) {
+	cp, err := ix.inner.FindCheckpoint(off)
+	if err != nil {
+		return 0, err
+	}
+	winBase := ix.payloadOff + cp.Bit/8
+	// First guess: compressed extent rarely exceeds the decompressed
+	// need; pad for the checkpoint-to-offset gap and tree headers.
+	need := (off - cp.Out) + int64(len(p))
+	w, err := f.openWindow(winBase, need+256<<10)
+	if err != nil {
+		return 0, err
+	}
+	for {
+		n, err := ix.inner.ReadAtWindow(w.data, winBase-ix.payloadOff, p, off)
+		if err == nil {
+			return n, nil
+		}
+		grown, gerr := w.grow()
+		if gerr != nil {
+			return 0, gerr
+		}
+		if !grown {
+			return 0, err
+		}
+	}
 }
 
 // Marshal serialises the index to a compact side-car blob (windows
@@ -68,6 +118,19 @@ func LoadIndex(gz []byte, blob []byte) (*Index, error) {
 		return nil, err
 	}
 	return &Index{inner: inner, payloadOff: int64(m.HeaderLen)}, nil
+}
+
+// SetIndex attaches a serialised checkpoint index (Index.Marshal) that
+// was built for this same gzip file: subsequent ReadAt calls within
+// the indexed extent decode from the nearest checkpoint instead of
+// scanning from the start.
+func (f *File) SetIndex(blob []byte) error {
+	inner, err := gzindex.Unmarshal(blob)
+	if err != nil {
+		return err
+	}
+	f.opts.Index = &Index{inner: inner, payloadOff: f.hdrLen}
+	return nil
 }
 
 // CompressBGZF compresses data into the blocked BGZF format

@@ -62,6 +62,7 @@ func loadFixtures(b *testing.B) {
 // BenchmarkTable2GunzipRole is the exact sequential baseline with
 // checksum verification (the "gunzip" column).
 func BenchmarkTable2GunzipRole(b *testing.B) {
+	b.ReportAllocs()
 	loadFixtures(b)
 	b.SetBytes(int64(len(fixGz)))
 	b.ResetTimer()
@@ -75,6 +76,7 @@ func BenchmarkTable2GunzipRole(b *testing.B) {
 // BenchmarkTable2LibdeflateRole is the optimized sequential baseline
 // (Go stdlib inflate, the "libdeflate" column).
 func BenchmarkTable2LibdeflateRole(b *testing.B) {
+	b.ReportAllocs()
 	loadFixtures(b)
 	b.SetBytes(int64(len(fixGz)))
 	b.ResetTimer()
@@ -92,6 +94,7 @@ func BenchmarkTable2LibdeflateRole(b *testing.B) {
 
 // BenchmarkTable2Pugz32 is the paper's headline configuration.
 func BenchmarkTable2Pugz32(b *testing.B) {
+	b.ReportAllocs()
 	loadFixtures(b)
 	b.SetBytes(int64(len(fixGz)))
 	b.ResetTimer()
@@ -105,9 +108,11 @@ func BenchmarkTable2Pugz32(b *testing.B) {
 // --- Figure 5: thread scaling ----------------------------------------
 
 func BenchmarkFig5Threads(b *testing.B) {
+	b.ReportAllocs()
 	loadFixtures(b)
 	for _, th := range []int{1, 2, 4, 8, 16, 32} {
 		b.Run(benchName(th), func(b *testing.B) {
+			b.ReportAllocs()
 			b.SetBytes(int64(len(fixGz)))
 			for i := 0; i < b.N; i++ {
 				if _, _, err := pugz.Decompress(fixGz, pugz.Options{Threads: th, MinChunk: 32 << 10}); err != nil {
@@ -141,10 +146,12 @@ func itoa(v int) string {
 // BenchmarkTable1RandomAccess measures one full random access: block
 // sync + tracked decode of the remaining stream + sequence extraction.
 func BenchmarkTable1RandomAccess(b *testing.B) {
+	b.ReportAllocs()
 	loadFixtures(b)
 	levels := map[string][]byte{"lowest": fixGzLow, "normal": fixGz, "highest": fixGzHigh}
 	for name, gz := range levels {
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			b.SetBytes(int64(len(gz)))
 			for i := 0; i < b.N; i++ {
 				if _, err := pugz.RandomAccess(gz, int64(len(gz)/3), pugz.RandomAccessOptions{}); err != nil {
@@ -158,6 +165,7 @@ func BenchmarkTable1RandomAccess(b *testing.B) {
 // BenchmarkFig2TrackedDecode measures the undetermined-context decode
 // kernel shared by Figures 1, 2 and 4 (decode with symbolic window).
 func BenchmarkFig2TrackedDecode(b *testing.B) {
+	b.ReportAllocs()
 	loadFixtures(b)
 	m, err := gzipx.ParseHeader(fixDNAGz)
 	if err != nil {
@@ -183,6 +191,7 @@ func BenchmarkFig2TrackedDecode(b *testing.B) {
 // BenchmarkBlockDetect measures one brute-force block sync from a
 // mid-file offset (the paper: 100-300 ms per detection).
 func BenchmarkBlockDetect(b *testing.B) {
+	b.ReportAllocs()
 	loadFixtures(b)
 	m, err := gzipx.ParseHeader(fixGz)
 	if err != nil {
@@ -205,12 +214,14 @@ func BenchmarkBlockDetect(b *testing.B) {
 // blocks after a candidate sync (the paper uses 5): fewer
 // confirmations are faster but riskier.
 func BenchmarkAblationConfirmations(b *testing.B) {
+	b.ReportAllocs()
 	loadFixtures(b)
 	m, _ := gzipx.ParseHeader(fixGz)
 	payload := fixGz[m.HeaderLen:]
 	from := int64(len(payload)) / 2 * 8
 	for _, conf := range []int{1, 3, 5, 10} {
 		b.Run("confirm="+itoa(conf), func(b *testing.B) {
+			b.ReportAllocs()
 			f := blockfind.New()
 			f.Confirmations = conf
 			for i := 0; i < b.N; i++ {
@@ -226,9 +237,11 @@ func BenchmarkAblationConfirmations(b *testing.B) {
 // parallel engine: finer chunks parallelise better but pay more sync
 // scans and more pass-2 windows.
 func BenchmarkAblationMinChunk(b *testing.B) {
+	b.ReportAllocs()
 	loadFixtures(b)
 	for _, mc := range []int{16 << 10, 64 << 10, 256 << 10, 1 << 20} {
 		b.Run("minchunk="+itoa(mc>>10)+"KiB", func(b *testing.B) {
+			b.ReportAllocs()
 			b.SetBytes(int64(len(fixGz)))
 			for i := 0; i < b.N; i++ {
 				if _, _, err := pugz.Decompress(fixGz, pugz.Options{Threads: 16, MinChunk: mc}); err != nil {
@@ -242,10 +255,12 @@ func BenchmarkAblationMinChunk(b *testing.B) {
 // BenchmarkCompressLevels measures our zlib-semantics compressor (the
 // corpus generator for every experiment).
 func BenchmarkCompressLevels(b *testing.B) {
+	b.ReportAllocs()
 	loadFixtures(b)
 	data := fixFastq[:4<<20]
 	for _, level := range []int{1, 6, 9} {
 		b.Run("level="+itoa(level), func(b *testing.B) {
+			b.ReportAllocs()
 			b.SetBytes(int64(len(data)))
 			for i := 0; i < b.N; i++ {
 				if _, err := pugz.Compress(data, level); err != nil {
@@ -261,6 +276,7 @@ func BenchmarkCompressLevels(b *testing.B) {
 // BenchmarkBaselineIndexReadAt measures exact random access through a
 // zran-style checkpoint index (reference [11]); build cost excluded.
 func BenchmarkBaselineIndexReadAt(b *testing.B) {
+	b.ReportAllocs()
 	loadFixtures(b)
 	ix, err := pugz.BuildIndex(fixGz, 1<<20)
 	if err != nil {
@@ -280,6 +296,7 @@ func BenchmarkBaselineIndexReadAt(b *testing.B) {
 // BenchmarkBaselineBGZF measures the blocked-file baseline (reference
 // [12]): trivially parallel decompression of independent blocks.
 func BenchmarkBaselineBGZF(b *testing.B) {
+	b.ReportAllocs()
 	loadFixtures(b)
 	bz, err := pugz.CompressBGZF(fixFastq, 6)
 	if err != nil {
@@ -287,6 +304,7 @@ func BenchmarkBaselineBGZF(b *testing.B) {
 	}
 	for _, th := range []int{1, 4, 16} {
 		b.Run(benchName(th), func(b *testing.B) {
+			b.ReportAllocs()
 			b.SetBytes(int64(len(bz)))
 			for i := 0; i < b.N; i++ {
 				if _, err := pugz.DecompressBGZF(bz, th); err != nil {
@@ -300,6 +318,7 @@ func BenchmarkBaselineBGZF(b *testing.B) {
 // BenchmarkStreamingReader measures the bounded-memory mode against
 // whole-file decompression.
 func BenchmarkStreamingReader(b *testing.B) {
+	b.ReportAllocs()
 	loadFixtures(b)
 	b.SetBytes(int64(len(fixGz)))
 	b.ResetTimer()
@@ -315,9 +334,43 @@ func BenchmarkStreamingReader(b *testing.B) {
 	}
 }
 
+// BenchmarkFileReadAt measures one positional read through the
+// seekable File surface with a checkpoint index attached: the
+// gzindex-accelerated exact-random-access path.
+func BenchmarkFileReadAt(b *testing.B) {
+	b.ReportAllocs()
+	loadFixtures(b)
+	ix, err := pugz.BuildIndex(fixGz, 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blob, err := ix.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := pugz.NewFileBytes(fixGz, pugz.FileOptions{Threads: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.SetIndex(blob); err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 64<<10)
+	off := ix.Size() / 2
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.ReadAt(buf, off); err != nil && err != io.EOF {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkGuesser measures the undetermined-character guesser on
 // masked FASTQ text.
 func BenchmarkGuesser(b *testing.B) {
+	b.ReportAllocs()
 	loadFixtures(b)
 	masked := append([]byte{}, fixFastq[:4<<20]...)
 	for i := 13; i < len(masked); i += 17 {
@@ -335,10 +388,12 @@ func BenchmarkGuesser(b *testing.B) {
 // BenchmarkCompressParallel measures pigz-style chunked compression
 // (the introduction's "easy direction").
 func BenchmarkCompressParallel(b *testing.B) {
+	b.ReportAllocs()
 	loadFixtures(b)
 	data := fixFastq[:8<<20]
 	for _, th := range []int{1, 4, 16} {
 		b.Run(benchName(th), func(b *testing.B) {
+			b.ReportAllocs()
 			b.SetBytes(int64(len(data)))
 			for i := 0; i < b.N; i++ {
 				if _, err := pugz.CompressParallel(data, 6, th); err != nil {
@@ -351,6 +406,7 @@ func BenchmarkCompressParallel(b *testing.B) {
 
 // BenchmarkPass2Translate isolates the pass-2 symbol translation scan.
 func BenchmarkPass2Translate(b *testing.B) {
+	b.ReportAllocs()
 	out := make([]uint16, 8<<20)
 	for i := range out {
 		if i%13 == 0 {

@@ -22,11 +22,10 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
-	"strconv"
 	"strings"
 
 	pugz "repro"
+	"repro/internal/cliutil"
 )
 
 func main() {
@@ -36,7 +35,7 @@ func main() {
 	clean := flag.Bool("clean", false, "print only sequences without undetermined characters")
 	summary := flag.Bool("summary", false, "print statistics instead of sequences")
 	stream := flag.Bool("stream", false, "decompress the whole stream in parallel and emit every sequence")
-	threads := flag.Int("t", runtime.NumCPU(), "decompression threads (streaming mode)")
+	threads := cliutil.Threads()
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -58,16 +57,29 @@ func main() {
 		return
 	}
 
-	gz, err := os.ReadFile(in)
+	// Random access goes through the seekable pugz.File surface: only
+	// the compressed extent actually decoded is read from disk, so a
+	// huge file costs no more than the requested window.
+	src, err := os.Open(in)
 	if err != nil {
 		fatal(err)
 	}
-	offset, err := parseOffset(*offsetFlag, int64(len(gz)))
+	defer src.Close()
+	fi, err := src.Stat()
 	if err != nil {
 		fatal(err)
 	}
+	offset, err := cliutil.ParseOffset(*offsetFlag, fi.Size())
+	if err != nil {
+		fatal(err)
+	}
+	f, err := pugz.NewFile(src, fi.Size(), pugz.FileOptions{Threads: *threads})
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
 
-	res, err := pugz.RandomAccess(gz, offset, pugz.RandomAccessOptions{
+	res, err := f.RandomAccessAt(offset, pugz.RandomAccessOptions{
 		MaxOutput: *maxOut,
 		MinSeqLen: *minLen,
 	})
@@ -115,17 +127,11 @@ func main() {
 // stream out — every sequence is fully resolved, so there is nothing
 // undetermined to flag.
 func streamAll(in string, threads, maxOut, minLen int, summary bool) {
-	var src io.Reader
-	if in == "-" {
-		src = os.Stdin
-	} else {
-		f, err := os.Open(in)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		src = f
+	src, closeSrc, err := cliutil.OpenInput(in)
+	if err != nil {
+		fatal(err)
 	}
+	defer closeSrc()
 	r, err := pugz.NewReader(src, pugz.StreamOptions{Threads: threads})
 	if err != nil {
 		fatal(err)
@@ -175,22 +181,6 @@ func streamAll(in string, threads, maxOut, minLen int, summary bool) {
 	}
 }
 
-func parseOffset(s string, size int64) (int64, error) {
-	if strings.HasSuffix(s, "%") {
-		p, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
-		if err != nil {
-			return 0, fmt.Errorf("bad offset %q: %w", s, err)
-		}
-		return int64(p / 100 * float64(size)), nil
-	}
-	v, err := strconv.ParseInt(s, 10, 64)
-	if err != nil {
-		return 0, fmt.Errorf("bad offset %q: %w", s, err)
-	}
-	return v, nil
-}
-
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "fqgz:", err)
-	os.Exit(1)
+	cliutil.Fatal("fqgz", err)
 }

@@ -11,6 +11,14 @@
 //	cat file.fastq.gz | pugz -c - > out  # decompress from a pipe
 //	pugz -stats -t 8 file.fastq.gz       # print a pipeline summary
 //	pugz -slurp -stats file.fastq.gz     # whole-file mode, per-chunk stats
+//
+// With -offset (and optionally -length) pugz extracts a range of the
+// *decompressed* stream through the seekable pugz.File surface instead
+// of emitting everything — without loading the whole file:
+//
+//	pugz -c -offset 1000000 -length 4096 file.gz   # bytes [1000000, 1004096)
+//	pugz -mkindex file.gz.gzx file.gz              # build a checkpoint index
+//	pugz -c -index file.gz.gzx -offset 50% -length 4096 file.gz
 package main
 
 import (
@@ -19,15 +27,15 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 	"strings"
 	"time"
 
 	pugz "repro"
+	"repro/internal/cliutil"
 )
 
 func main() {
-	threads := flag.Int("t", runtime.NumCPU(), "number of decompression threads")
+	threads := cliutil.Threads()
 	stdout := flag.Bool("c", false, "write to standard output")
 	output := flag.String("o", "", "output file (default: input without .gz)")
 	verify := flag.Bool("check", false, "verify CRC-32 and ISIZE (pugz skips checksums by default, like the paper)")
@@ -35,26 +43,34 @@ func main() {
 	batch := flag.Int("batch", 0, "compressed bytes per streaming batch (default 4 MiB x threads)")
 	maxWindow := flag.Int("maxwindow", 0, "cap on the buffered compressed window; lower it to fail fast on corrupt or non-text streams (default max(64 MiB, 4 x batch))")
 	slurp := flag.Bool("slurp", false, "read the whole file into memory and use the two-pass whole-file engine")
+	offset := flag.String("offset", "", "extract starting at this decompressed offset (absolute or NN% of the decompressed size); requires a regular file")
+	length := flag.Int64("length", 0, "with -offset: number of decompressed bytes to extract (0 = to end)")
+	indexPath := flag.String("index", "", "sidecar checkpoint index (from -mkindex) accelerating -offset extraction")
+	mkindex := flag.String("mkindex", "", "build a checkpoint index of the input and write it to this path, then exit")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pugz [-t N] [-c|-o out] [-check] [-stats] [-batch N] [-maxwindow N] [-slurp] file.gz|-")
+		fmt.Fprintln(os.Stderr, "       pugz [-t N] [-c|-o out] [-offset POS [-length N]] [-index file.gzx] file.gz")
+		fmt.Fprintln(os.Stderr, "       pugz -mkindex file.gzx file.gz")
 		os.Exit(2)
 	}
 	in := flag.Arg(0)
 
-	var src io.Reader
-	switch {
-	case in == "-":
-		src = os.Stdin
-	default:
-		f, err := os.Open(in)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		src = f
+	if *mkindex != "" {
+		runMkindex(in, *mkindex)
+		return
 	}
+	if *offset != "" {
+		runRange(in, *offset, *length, *indexPath, *threads, *stdout, *output)
+		return
+	}
+
+	src, closeSrc, err := cliutil.OpenInput(in)
+	if err != nil {
+		fatal(err)
+	}
+	defer closeSrc()
 
 	dst, commit, abort := openDst(in, *stdout, *output)
 
@@ -95,6 +111,104 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  members=%d batches=%d peak compressed window=%d bytes\n",
 			st.Members, st.Batches, st.MaxBufferedCompressed)
 	}
+}
+
+// runRange extracts a decompressed byte range through the seekable
+// pugz.File surface: indexed extraction decodes only from the nearest
+// checkpoint; unindexed extraction scans forward with bounded memory.
+func runRange(in, offsetSpec string, length int64, indexPath string, threads int, stdout bool, output string) {
+	if in == "-" {
+		fatal(fmt.Errorf("-offset needs a seekable file, not a pipe"))
+	}
+	src, err := os.Open(in)
+	if err != nil {
+		fatal(err)
+	}
+	defer src.Close()
+	fi, err := src.Stat()
+	if err != nil {
+		fatal(err)
+	}
+	f, err := pugz.NewFile(src, fi.Size(), pugz.FileOptions{Threads: threads})
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if indexPath != "" {
+		blob, err := os.ReadFile(indexPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := f.SetIndex(blob); err != nil {
+			fatal(err)
+		}
+	}
+
+	var off int64
+	if strings.HasSuffix(offsetSpec, "%") {
+		size, err := f.Size()
+		if err != nil {
+			fatal(err)
+		}
+		off, err = cliutil.ParseOffset(offsetSpec, size)
+		if err != nil {
+			fatal(err)
+		}
+	} else if off, err = cliutil.ParseOffset(offsetSpec, 0); err != nil {
+		fatal(err)
+	}
+
+	dst, commit, abort := openDst(in, stdout, output)
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		abort()
+		fatal(err)
+	}
+	var rd io.Reader = f
+	if length > 0 {
+		rd = io.LimitReader(f, length)
+	}
+	w := bufio.NewWriterSize(dst, 1<<20)
+	// Large copy chunks matter when an index is attached: each indexed
+	// read inflates from the nearest checkpoint, so amortise that over
+	// a checkpoint-spacing-sized buffer rather than io.Copy's 32 KiB.
+	if _, err := io.CopyBuffer(w, rd, make([]byte, 1<<20)); err != nil {
+		abort()
+		fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		abort()
+		fatal(err)
+	}
+	if err := commit(); err != nil {
+		fatal(err)
+	}
+}
+
+// runMkindex builds the zran-style checkpoint index of the input and
+// writes its serialised form next to the data, for later -index runs.
+func runMkindex(in, out string) {
+	src, closeSrc, err := cliutil.OpenInput(in)
+	if err != nil {
+		fatal(err)
+	}
+	defer closeSrc()
+	gz, err := io.ReadAll(src)
+	if err != nil {
+		fatal(err)
+	}
+	ix, err := pugz.BuildIndex(gz, 0)
+	if err != nil {
+		fatal(err)
+	}
+	blob, err := ix.Marshal()
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "pugz: %d checkpoints over %d decompressed bytes -> %s (%d bytes)\n",
+		ix.Checkpoints(), ix.Size(), out, len(blob))
 }
 
 // runSlurped is the pre-streaming path: the whole compressed file in
@@ -178,6 +292,5 @@ func openDst(in string, stdout bool, output string) (w io.Writer, commit func() 
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pugz:", err)
-	os.Exit(1)
+	cliutil.Fatal("pugz", err)
 }

@@ -1,0 +1,382 @@
+package pugz
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/gzipx"
+)
+
+// FileOptions configures a File.
+type FileOptions struct {
+	// Threads is the number of parallel chunks used by sequential-scan
+	// reads (values < 1 select 1... runtime.NumCPU is a good choice).
+	Threads int
+	// BatchCompressedBytes is the compressed bytes consumed per batch
+	// during sequential-scan reads (default 4 MiB x Threads).
+	BatchCompressedBytes int
+	// MinChunk is the minimum compressed bytes per chunk.
+	MinChunk int
+	// Index, when set, accelerates ReadAt within the first member to
+	// one checkpoint-to-offset inflate (the zran baseline) instead of a
+	// scan from the start. It must have been built (or loaded) for this
+	// same gzip file.
+	Index *Index
+}
+
+// File provides random access to decompressed content over any
+// io.ReaderAt — an os.File, an mmap, a bytes.Reader, a remote blob
+// adapter — without ever materialising the whole compressed or
+// decompressed stream. It is the seekable surface of the unified
+// engine:
+//
+//   - ReadAt / Read / Seek address *decompressed* offsets exactly
+//     (output is byte-identical to gunzip's). With an Index, reads
+//     within the first member inflate only from the nearest
+//     checkpoint; without one, reads decode forward from the start
+//     through the bounded-memory parallel pipeline, and a cached
+//     cursor makes ascending reads (the scan pattern) cost one pass
+//     total.
+//
+//   - RandomAccessAt addresses *compressed* offsets the paper's way:
+//     no index, no decode-from-start — sync to a block by brute-force
+//     bit scanning and decode with an undetermined context
+//     (Sections IV and VI), yielding partially resolved text
+//     immediately.
+//
+// ReadAt, Read, Seek and Size are safe for concurrent use (reads on
+// the shared cursor are serialised); the remaining methods are not.
+type File struct {
+	src  io.ReaderAt
+	size int64  // compressed size
+	raw  []byte // non-nil for in-memory sources: zero-copy windows
+	opts FileOptions
+
+	hdrLen int64 // first member's header length
+
+	mu    sync.Mutex
+	cur   *fileCursor
+	pos   int64 // Read/Seek cursor (decompressed)
+	usize int64 // cached decompressed size, -1 = not yet known
+}
+
+// fileCursor is the forward-scan state for unindexed reads: a
+// streaming Reader over the compressed file plus the decompressed
+// offset it has reached.
+type fileCursor struct {
+	r   *Reader
+	pos int64
+}
+
+// NewFile opens a gzip file over an arbitrary io.ReaderAt of the given
+// compressed size. The first member header is parsed (and validated)
+// before returning.
+func NewFile(src io.ReaderAt, size int64, o FileOptions) (*File, error) {
+	f := &File{src: src, size: size, opts: o, usize: -1}
+	br := bufio.NewReader(io.NewSectionReader(src, 0, size))
+	m, err := gzipx.ReadHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	f.hdrLen = int64(m.HeaderLen)
+	return f, nil
+}
+
+// NewFileBytes is NewFile over an in-memory gzip file. Byte-source
+// windows alias the slice directly (no copying), so the slice must not
+// be mutated while the File is in use.
+func NewFileBytes(gz []byte, o FileOptions) (*File, error) {
+	f, err := NewFile(bytes.NewReader(gz), int64(len(gz)), o)
+	if err != nil {
+		return nil, err
+	}
+	f.raw = gz
+	return f, nil
+}
+
+// streamOptions assembles the cursor's Reader configuration.
+func (f *File) streamOptions() StreamOptions {
+	return StreamOptions{
+		Threads:              f.opts.Threads,
+		BatchCompressedBytes: f.opts.BatchCompressedBytes,
+		MinChunk:             f.opts.MinChunk,
+	}
+}
+
+// ReadAt fills p with decompressed bytes starting at decompressed
+// offset off, implementing io.ReaderAt over the *output* stream. Reads
+// that land inside the indexed extent are served from the nearest
+// checkpoint; everything else decodes forward from the member start on
+// a cached cursor, so a sequence of ascending ReadAt calls costs one
+// sequential pass in total. Short reads at end of stream return io.EOF.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("pugz: negative read offset %d", off)
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.readAtLocked(p, off)
+}
+
+// readAtLocked serves a positional read (f.mu held), choosing between
+// the checkpoint index and the forward-scan cursor: the cursor wins
+// only when it is already at (or within one checkpoint spacing behind)
+// the target, where continuing the scan costs less than a
+// checkpoint-to-offset inflate.
+func (f *File) readAtLocked(p []byte, off int64) (int, error) {
+	if ix := f.opts.Index; ix != nil && off+int64(len(p)) <= ix.Size() {
+		useCursor := false
+		if f.cur != nil && off >= f.cur.pos {
+			useCursor = off-f.cur.pos <= ix.spacing()
+		}
+		if !useCursor {
+			n, err := ix.readAtSource(f, p, off)
+			if err == nil && n < len(p) {
+				err = io.EOF
+			}
+			return n, err
+		}
+	}
+	return f.readAtCursor(p, off)
+}
+
+// readAtCursor serves a positional read by scanning forward on the
+// shared cursor (f.mu held).
+func (f *File) readAtCursor(p []byte, off int64) (int, error) {
+	if f.cur == nil || off < f.cur.pos {
+		if err := f.resetCursor(); err != nil {
+			return 0, err
+		}
+	}
+	if skip := off - f.cur.pos; skip > 0 {
+		n, err := io.CopyN(io.Discard, f.cur.r, skip)
+		f.cur.pos += n
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return 0, io.EOF // offset past end of stream
+			}
+			return 0, err
+		}
+	}
+	n, err := io.ReadFull(f.cur.r, p)
+	f.cur.pos += int64(n)
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		err = io.EOF
+		if f.usize < 0 {
+			f.usize = f.cur.pos // end reached: size now known
+		}
+	}
+	return n, err
+}
+
+// resetCursor (re)opens the streaming reader at decompressed offset 0
+// (f.mu held).
+func (f *File) resetCursor() error {
+	f.closeCursor()
+	r, err := NewReader(io.NewSectionReader(f.src, 0, f.size), f.streamOptions())
+	if err != nil {
+		return err
+	}
+	f.cur = &fileCursor{r: r}
+	return nil
+}
+
+func (f *File) closeCursor() {
+	if f.cur != nil {
+		f.cur.r.Close()
+		f.cur = nil
+	}
+}
+
+// Read implements io.Reader at the Seek cursor. Like ReadAt it uses
+// the checkpoint index when one is attached and the forward-scan
+// cursor is not already close to the position, so a Seek deep into an
+// indexed file does not trigger a decode-from-start.
+func (f *File) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, err := f.readAtLocked(p, f.pos)
+	f.pos += int64(n)
+	if n > 0 && errors.Is(err, io.EOF) {
+		err = nil // io.Reader convention: report EOF on the next call
+	}
+	return n, err
+}
+
+// Seek implements io.Seeker over the decompressed stream. Seeking
+// relative to io.SeekEnd requires the decompressed size (see Size).
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		f.mu.Lock()
+		base = f.pos
+		f.mu.Unlock()
+	case io.SeekEnd:
+		size, err := f.Size()
+		if err != nil {
+			return 0, err
+		}
+		base = size
+	default:
+		return 0, fmt.Errorf("pugz: invalid seek whence %d", whence)
+	}
+	pos := base + offset
+	if pos < 0 {
+		return 0, fmt.Errorf("pugz: negative seek position %d", pos)
+	}
+	f.mu.Lock()
+	f.pos = pos
+	f.mu.Unlock()
+	return pos, nil
+}
+
+// Size returns the total decompressed size across all members. Without
+// an index covering the whole file this requires one full (bounded-
+// memory) decode pass the first time it is called; the result is
+// cached. Note a gzip trailer's ISIZE field is modulo 2^32 and
+// per-member, so it is not used.
+func (f *File) Size() (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.usize >= 0 {
+		return f.usize, nil
+	}
+	// A single-member file with an attached index needs no decode pass:
+	// the index already measured the whole output.
+	if ix := f.opts.Index; ix != nil && ix.coversWholeFile(f.size) {
+		f.usize = ix.Size()
+		return f.usize, nil
+	}
+	r, err := NewReader(io.NewSectionReader(f.src, 0, f.size), f.streamOptions())
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+	n, err := io.Copy(io.Discard, r)
+	if err != nil {
+		return 0, err
+	}
+	f.usize = n
+	return n, nil
+}
+
+// Close releases the forward-scan cursor (if any). The underlying
+// source is not closed. The File remains usable; a later read simply
+// opens a fresh cursor.
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closeCursor()
+	return nil
+}
+
+// --- Byte-source windows ----------------------------------------------
+
+// srcWindow is a loaded extent of the compressed file: the byte-source
+// abstraction the compressed-offset surfaces (RandomAccessAt,
+// ScanBlocks, FindBlockAt — and the index fast path) decode through
+// instead of whole-file slices. For in-memory sources a window aliases
+// the original slice (zero copy, always extends to EOF); for true
+// io.ReaderAt sources it is filled on demand and grown geometrically
+// when a decode runs off its end.
+type srcWindow struct {
+	src   io.ReaderAt
+	size  int64 // total source size
+	base  int64 // source offset of data[0]
+	data  []byte
+	atEOF bool // data reaches the end of the source
+	owned bool // data is a private buffer (false: aliases a raw slice)
+}
+
+// openWindow loads [base, base+n) of the compressed file (n is clamped
+// to the file size; in-memory sources always map through to EOF).
+func (f *File) openWindow(base, n int64) (*srcWindow, error) {
+	if base > f.size {
+		base = f.size
+	}
+	w := &srcWindow{src: f.src, size: f.size, base: base}
+	if f.raw != nil {
+		w.data = f.raw[base:]
+		w.atEOF = true
+		return w, nil
+	}
+	w.owned = true
+	return w, w.extend(n)
+}
+
+// extend grows the window by reading n more source bytes after the
+// currently loaded extent.
+func (w *srcWindow) extend(n int64) error {
+	if w.atEOF {
+		return nil
+	}
+	end := w.base + int64(len(w.data)) + n
+	if end >= w.size {
+		end = w.size
+		w.atEOF = true
+	}
+	need := int(end - w.base - int64(len(w.data)))
+	if need <= 0 {
+		return nil
+	}
+	ext := make([]byte, need)
+	m, err := w.src.ReadAt(ext, w.base+int64(len(w.data)))
+	w.data = append(w.data, ext[:m]...)
+	if err != nil && !errors.Is(err, io.EOF) {
+		return err
+	}
+	if errors.Is(err, io.EOF) {
+		w.atEOF = true
+	}
+	return nil
+}
+
+// grow doubles the loaded extent. It reports whether the window
+// actually got bigger (false once EOF is reached: retrying a failed
+// decode cannot help any more).
+func (w *srcWindow) grow() (bool, error) {
+	if w.atEOF {
+		return false, nil
+	}
+	before := len(w.data)
+	n := int64(before)
+	if n < minWindowLoad {
+		n = minWindowLoad
+	}
+	if err := w.extend(n); err != nil {
+		return false, err
+	}
+	return len(w.data) > before, nil
+}
+
+// discardTo drops the window prefix before source offset off, bounding
+// residency for long forward walks (ScanBlocks). A no-op for raw-slice
+// windows (they alias the caller's memory) and below the compaction
+// threshold (slicing alone would pin the full backing array).
+func (w *srcWindow) discardTo(off int64) {
+	if !w.owned || off <= w.base {
+		return
+	}
+	k := off - w.base
+	if k < minWindowLoad {
+		return
+	}
+	w.data = append([]byte(nil), w.data[k:]...)
+	w.base = off
+}
+
+// minWindowLoad is the smallest extent loaded from a true io.ReaderAt
+// source (in-memory sources alias the slice and never load). Block
+// detection confirms a start within tens of KiB in practice, so half a
+// MiB serves most finds in one load while growth stays geometric.
+const minWindowLoad = 512 << 10

@@ -1,0 +1,293 @@
+package pugz_test
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+
+	pugz "repro"
+	"repro/internal/fastq"
+)
+
+// trackingReaderAt counts the bytes read through it, so tests can
+// assert that the windowed byte source does NOT load the whole file.
+type trackingReaderAt struct {
+	data []byte
+	read int64
+}
+
+func (t *trackingReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(t.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, t.data[off:])
+	t.read += int64(n)
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func fileFixture(t *testing.T) (data, gz []byte) {
+	t.Helper()
+	data = fastq.Generate(fastq.GenOptions{Reads: 12000, Seed: 99})
+	gz, err := pugz.Compress(data, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, gz
+}
+
+// TestFileReadAtMatchesGunzip is the acceptance property: positional
+// reads over an io.ReaderAt return exactly the bytes gunzip would
+// produce at those decompressed offsets.
+func TestFileReadAtMatchesGunzip(t *testing.T) {
+	data, gz := fileFixture(t)
+	for _, mode := range []string{"slice", "readerat"} {
+		t.Run(mode, func(t *testing.T) {
+			var f *pugz.File
+			var err error
+			if mode == "slice" {
+				f, err = pugz.NewFileBytes(gz, pugz.FileOptions{Threads: 4, MinChunk: 16 << 10})
+			} else {
+				f, err = pugz.NewFile(&trackingReaderAt{data: gz}, int64(len(gz)),
+					pugz.FileOptions{Threads: 4, MinChunk: 16 << 10})
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+
+			rng := rand.New(rand.NewSource(7))
+			offs := []int64{0, 1, int64(len(data) / 2), int64(len(data)) - 100}
+			for i := 0; i < 6; i++ {
+				offs = append(offs, rng.Int63n(int64(len(data))))
+			}
+			for _, off := range offs {
+				n := 4096
+				if int64(n) > int64(len(data))-off {
+					n = int(int64(len(data)) - off)
+				}
+				p := make([]byte, n)
+				got, err := f.ReadAt(p, off)
+				if err != nil && err != io.EOF {
+					t.Fatalf("ReadAt(%d): %v", off, err)
+				}
+				if got != n {
+					t.Fatalf("ReadAt(%d): %d of %d bytes", off, got, n)
+				}
+				if !bytes.Equal(p, data[off:off+int64(n)]) {
+					t.Fatalf("ReadAt(%d): content mismatch", off)
+				}
+			}
+
+			// Reads past the end: short with io.EOF.
+			p := make([]byte, 128)
+			n, err := f.ReadAt(p, int64(len(data))-10)
+			if n != 10 || err != io.EOF {
+				t.Fatalf("tail read: n=%d err=%v, want 10, io.EOF", n, err)
+			}
+			if _, err := f.ReadAt(p, int64(len(data))+5); err != io.EOF {
+				t.Fatalf("past-end read: err=%v, want io.EOF", err)
+			}
+		})
+	}
+}
+
+// TestFileReadAtIndexed checks the gzindex-accelerated path: with a
+// checkpoint index attached, a read near the end of a large stream
+// must not decode (or even load) the whole file.
+func TestFileReadAtIndexed(t *testing.T) {
+	data, gz := fileFixture(t)
+	ix, err := pugz.BuildIndex(gz, 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := ix.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src := &trackingReaderAt{data: gz}
+	f, err := pugz.NewFile(src, int64(len(gz)), pugz.FileOptions{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.SetIndex(blob); err != nil {
+		t.Fatal(err)
+	}
+
+	off := int64(len(data)) - 64<<10
+	p := make([]byte, 32<<10)
+	if _, err := f.ReadAt(p, off); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p, data[off:off+int64(len(p))]) {
+		t.Fatal("indexed read mismatch")
+	}
+	// The checkpoint spacing bounds the decode to ~256 KiB of output,
+	// roughly its compressed extent of input; reading a large fraction
+	// of the compressed file would mean the index was not used.
+	if src.read > int64(len(gz))/2 {
+		t.Fatalf("indexed read loaded %d of %d compressed bytes", src.read, len(gz))
+	}
+
+	// Size is known from the index without a decode pass.
+	size, err := f.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != int64(len(data)) {
+		t.Fatalf("Size = %d, want %d", size, len(data))
+	}
+}
+
+// TestFileReadSeek exercises the io.ReadSeeker surface.
+func TestFileReadSeek(t *testing.T) {
+	data, gz := fileFixture(t)
+	f, err := pugz.NewFileBytes(gz, pugz.FileOptions{Threads: 2, MinChunk: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	if _, err := f.Seek(1000, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, 500)
+	if _, err := io.ReadFull(f, p); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p, data[1000:1500]) {
+		t.Fatal("read after SeekStart mismatch")
+	}
+
+	// Relative seek continues from the cursor.
+	if _, err := f.Seek(250, io.SeekCurrent); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(f, p); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p, data[1750:2250]) {
+		t.Fatal("read after SeekCurrent mismatch")
+	}
+
+	// SeekEnd needs the decompressed size (full scan, then cached).
+	pos, err := f.Seek(-100, io.SeekEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos != int64(len(data))-100 {
+		t.Fatalf("SeekEnd pos = %d", pos)
+	}
+	tail, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tail, data[len(data)-100:]) {
+		t.Fatal("tail read mismatch")
+	}
+
+	size, err := f.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != int64(len(data)) {
+		t.Fatalf("Size = %d, want %d", size, len(data))
+	}
+}
+
+// TestFileMultiMember checks positional reads across a member
+// boundary: the decompressed address space concatenates members,
+// exactly like gunzip output.
+func TestFileMultiMember(t *testing.T) {
+	a := fastq.Generate(fastq.GenOptions{Reads: 3000, Seed: 1})
+	b := fastq.Generate(fastq.GenOptions{Reads: 3000, Seed: 2})
+	gzA, err := pugz.Compress(a, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gzB, err := pugz.Compress(b, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz := append(append([]byte{}, gzA...), gzB...)
+	want := append(append([]byte{}, a...), b...)
+
+	f, err := pugz.NewFileBytes(gz, pugz.FileOptions{Threads: 2, MinChunk: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// A read spanning the boundary.
+	off := int64(len(a)) - 1000
+	p := make([]byte, 2000)
+	if _, err := f.ReadAt(p, off); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p, want[off:off+2000]) {
+		t.Fatal("cross-member read mismatch")
+	}
+	size, err := f.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != int64(len(want)) {
+		t.Fatalf("Size = %d, want %d", size, len(want))
+	}
+}
+
+// TestFileRandomAccessAt checks the compressed-offset access path over
+// a true io.ReaderAt: same result as the slice-based RandomAccess, and
+// only a bounded prefix of the compressed tail is ever loaded.
+func TestFileRandomAccessAt(t *testing.T) {
+	data := fastq.Generate(fastq.GenOptions{Reads: 40000, Seed: 23})
+	gz, err := pugz.Compress(data, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	from := int64(len(gz) / 3)
+	const maxOut = 256 << 10
+
+	wantRes, err := pugz.RandomAccess(gz, from, pugz.RandomAccessOptions{MaxOutput: maxOut})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src := &trackingReaderAt{data: gz}
+	f, err := pugz.NewFile(src, int64(len(gz)), pugz.FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	gotRes, err := f.RandomAccessAt(from, pugz.RandomAccessOptions{MaxOutput: maxOut})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if gotRes.BlockBit != wantRes.BlockBit {
+		t.Fatalf("BlockBit %d vs %d", gotRes.BlockBit, wantRes.BlockBit)
+	}
+	if !bytes.Equal(gotRes.Text, wantRes.Text) {
+		t.Fatal("random-access text mismatch between slice and ReaderAt sources")
+	}
+	if len(gotRes.Blocks) != len(wantRes.Blocks) || len(gotRes.Sequences) != len(wantRes.Sequences) {
+		t.Fatalf("structure mismatch: %d/%d blocks, %d/%d sequences",
+			len(gotRes.Blocks), len(wantRes.Blocks), len(gotRes.Sequences), len(wantRes.Sequences))
+	}
+	for i := range gotRes.Blocks {
+		if gotRes.Blocks[i] != wantRes.Blocks[i] {
+			t.Fatalf("block %d mismatch: %+v vs %+v", i, gotRes.Blocks[i], wantRes.Blocks[i])
+		}
+	}
+	// A bounded read must load a bounded compressed extent: far less
+	// than the tail from the sync point to EOF (what "decode to the
+	// end" would need), let alone the whole file.
+	if tail := int64(len(gz)) - from; src.read >= tail {
+		t.Fatalf("random access loaded %d compressed bytes; naive tail read is %d", src.read, tail)
+	}
+}

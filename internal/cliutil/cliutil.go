@@ -1,0 +1,61 @@
+// Package cliutil holds the option wiring shared by this repository's
+// command-line tools (cmd/pugz, cmd/fqgz), so flag names, defaults and
+// input conventions cannot drift apart between them.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// DefaultThreads is the shared default for every tool's -t flag:
+// GOMAXPROCS, so a containerised or taskset-limited invocation gets a
+// sensible degree of parallelism without hand-tuning.
+func DefaultThreads() int { return runtime.GOMAXPROCS(0) }
+
+// Threads registers the shared -t flag on the default flag set.
+func Threads() *int {
+	return flag.Int("t", DefaultThreads(), "number of decompression threads")
+}
+
+// ParseOffset parses a byte offset that is either absolute ("1048576")
+// or a percentage of size ("25%").
+func ParseOffset(s string, size int64) (int64, error) {
+	if strings.HasSuffix(s, "%") {
+		p, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad offset %q: %w", s, err)
+		}
+		return int64(p / 100 * float64(size)), nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad offset %q: %w", s, err)
+	}
+	return v, nil
+}
+
+// OpenInput resolves the shared input-path convention: "-" is stdin,
+// anything else is opened as a file. The returned closer is a no-op
+// for stdin.
+func OpenInput(path string) (io.Reader, func() error, error) {
+	if path == "-" {
+		return os.Stdin, func() error { return nil }, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+// Fatal prints "<tool>: <err>" to stderr and exits 1.
+func Fatal(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(1)
+}

@@ -1,0 +1,43 @@
+package cliutil
+
+import "testing"
+
+func TestParseOffset(t *testing.T) {
+	cases := []struct {
+		in   string
+		size int64
+		want int64
+		err  bool
+	}{
+		{"0", 1000, 0, false},
+		{"123", 1000, 123, false},
+		{"50%", 1000, 500, false},
+		{"25%", 8, 2, false},
+		{"100%", 1000, 1000, false},
+		{"", 1000, 0, true},
+		{"abc", 1000, 0, true},
+		{"x%", 1000, 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseOffset(c.in, c.size)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseOffset(%q): expected error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseOffset(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseOffset(%q, %d) = %d, want %d", c.in, c.size, got, c.want)
+		}
+	}
+}
+
+func TestDefaultThreads(t *testing.T) {
+	if DefaultThreads() < 1 {
+		t.Fatal("DefaultThreads must be at least 1")
+	}
+}

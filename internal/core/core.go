@@ -14,18 +14,17 @@
 // The result is bit-exact with sequential gunzip output, with no
 // heuristics and no assumptions about the file content beyond the
 // stringent text checks used for block detection.
+//
+// All entry points — whole-file (DecompressPayload), bounded-memory
+// streaming (Pipeline, DecompressStream) — run on one shared chunk
+// decoder, decodeSegment in engine.go; they differ only in how they
+// frame segments and carry context windows between them.
 package core
 
 import (
-	"errors"
-	"fmt"
-	"sync"
 	"time"
 
-	"repro/internal/bitio"
-	"repro/internal/blockfind"
 	"repro/internal/flate"
-	"repro/internal/tracked"
 )
 
 // Options configures the engine.
@@ -111,51 +110,23 @@ func (m *Metrics) SimulatedMakespan() time.Duration {
 	return maxP1 + m.Pass2SeqWall + maxP2
 }
 
-// chunk is the per-goroutine working state.
-type chunk struct {
-	startBit int64
-	stopBit  int64 // 0 for the last chunk (decode to final block)
-	last     bool
-
-	// pass-1 results
-	plain     []byte   // chunk 0 only
-	sym       []uint16 // chunks >= 1
-	endBit    int64
-	final     bool
-	firstSpan *flate.BlockSpan // first decoded block (chunks >= 1)
-
-	ctx []byte // resolved initial context (pass 2)
-	out int64  // offset of this chunk's bytes in the final output
-
-	m ChunkMetrics
-}
-
-// ErrNoFinalBlock is returned when the stream ends without a final
-// block (truncated input).
-var ErrNoFinalBlock = errors.New("core: stream has no final block (truncated?)")
-
 // DecompressPayload decompresses a raw DEFLATE stream (no gzip
-// framing) in parallel and returns the output plus run metrics.
+// framing) in parallel and returns the output plus run metrics. It is
+// the whole-file framing of the shared segment engine: the entire
+// payload is one segment starting at bit 0 with no preceding context.
 func DecompressPayload(payload []byte, o Options) ([]byte, *Metrics, error) {
 	t0 := time.Now()
+	metrics := &Metrics{}
+
 	n := o.Threads
-	if n < 1 {
-		n = 1
-	}
 	minChunk := o.MinChunk
 	if minChunk <= 0 {
 		minChunk = defaultMinChunk
 	}
 	if maxN := len(payload) / minChunk; n > maxN {
 		n = maxN
-		if n < 1 {
-			n = 1
-		}
 	}
-
-	metrics := &Metrics{}
-
-	if n == 1 {
+	if n <= 1 {
 		out, endBit, err := sequentialDecode(payload)
 		if err != nil {
 			return nil, nil, err
@@ -168,88 +139,21 @@ func DecompressPayload(payload []byte, o Options) ([]byte, *Metrics, error) {
 		return out, metrics, nil
 	}
 
-	// --- Sync: locate one confirmed block start per chunk boundary.
-	tSync := time.Now()
-	chunks, err := planChunks(payload, n, o)
+	seg, err := decodeSegment(payload, 0, int64(len(payload)), nil, o)
 	if err != nil {
 		return nil, nil, err
 	}
-	metrics.SyncWall = time.Since(tSync)
-
-	// --- Pass 1: parallel decompression with symbolic contexts.
-	tP1 := time.Now()
-	if err := runPass1(payload, chunks, o.Sequential); err != nil {
-		return nil, nil, err
-	}
-	metrics.Pass1Wall = time.Since(tP1)
-
-	// Trim chunks past the end of the member: when the input buffer
-	// extends beyond one DEFLATE stream (a multi-member gzip file, or
-	// trailing data), the chunk that reaches the stream's final block
-	// ends the member and later chunks — which synced into whatever
-	// follows — are discarded.
-	for i, c := range chunks {
-		if c.final {
-			chunks = chunks[:i+1]
-			break
-		}
-	}
-	last := chunks[len(chunks)-1]
-	if !last.final {
-		return nil, nil, ErrNoFinalBlock
-	}
-	// Continuity check: every chunk must stop exactly where its
-	// successor starts. Stored blocks make the start bit ambiguous
-	// (any zero bit inside the byte-alignment padding decodes
-	// identically), so on a bit mismatch we verify equivalence by
-	// probing one block at the predecessor's true stop position and
-	// comparing it against the successor's first decoded block. A real
-	// mismatch means a confirmed-but-false block start slipped through
-	// the stringent checks; we fail loudly rather than emit corrupt
-	// output (callers may retry sequentially).
-	for i := 0; i < len(chunks)-1; i++ {
-		if chunks[i].endBit == chunks[i+1].startBit {
-			continue
-		}
-		if err := verifyEquivalentStart(payload, chunks[i].endBit, chunks[i+1]); err != nil {
-			return nil, nil, fmt.Errorf(
-				"core: chunk %d ended at bit %d but chunk %d starts at bit %d: %w",
-				i, chunks[i].endBit, i+1, chunks[i+1].startBit, err)
-		}
-	}
-
-	// --- Layout: prefix sums of chunk output sizes.
-	var total int64
-	for _, c := range chunks {
-		c.out = total
-		if c.plain != nil {
-			total += int64(len(c.plain))
-		} else {
-			total += int64(len(c.sym))
-		}
-	}
-	out := make([]byte, total)
-
-	// --- Pass 2a (sequential): propagate resolved windows.
-	tSeq := time.Now()
-	if err := propagateWindows(chunks); err != nil {
-		return nil, nil, err
-	}
-	metrics.Pass2SeqWall = time.Since(tSeq)
-
-	// --- Pass 2b (parallel): translate symbolic output into place.
-	tPar := time.Now()
-	if err := runPass2(chunks, out, o.Sequential); err != nil {
-		return nil, nil, err
-	}
-	metrics.Pass2ParWall = time.Since(tPar)
-
-	for _, c := range chunks {
+	for _, c := range seg.chunks {
 		metrics.Chunks = append(metrics.Chunks, c.m)
 	}
-	metrics.PayloadEndBit = last.endBit
+	metrics.SyncWall = seg.syncWall
+	metrics.Pass1Wall = seg.pass1Wall
+	metrics.Pass2SeqWall = seg.pass2SeqWall
+	metrics.Pass2ParWall = seg.pass2ParWall
+	metrics.PayloadEndBit = seg.endBit
 	metrics.TotalWall = time.Since(t0)
-	return out, metrics, nil
+	seg.release()
+	return seg.out, metrics, nil
 }
 
 // sequentialDecode is the single-chunk fallback: a plain exact decode
@@ -264,289 +168,4 @@ func sequentialDecode(payload []byte) ([]byte, int64, error) {
 		endBit = spans[len(spans)-1].EndBit
 	}
 	return out, endBit, nil
-}
-
-// planChunks finds the chunk block starts. Boundary k targets byte
-// offset k*len/n; the k-th chunk begins at the first confirmed block
-// start at or after that offset. Boundaries that resolve to the same
-// block start (or none before the next boundary) are merged.
-func planChunks(payload []byte, n int, o Options) ([]*chunk, error) {
-	type found struct {
-		bit int64
-		dur time.Duration
-		err error
-	}
-	results := make([]found, n) // results[0] is fixed at bit 0
-	findOne := func(k int) {
-		t := time.Now()
-		f := newFinder(o)
-		target := int64(k) * int64(len(payload)) / int64(n)
-		bit, err := f.Next(payload, target*8)
-		if errors.Is(err, blockfind.ErrNotFound) {
-			// No block start in the remainder of this chunk's span:
-			// the chunk will be merged into its predecessor.
-			results[k] = found{bit: -1, dur: time.Since(t)}
-			return
-		}
-		results[k] = found{bit: bit, dur: time.Since(t), err: err}
-	}
-	forEachChunk(o.Sequential, 1, n, findOne)
-	for k := 1; k < n; k++ {
-		if results[k].err != nil {
-			return nil, fmt.Errorf("core: chunk %d sync: %w", k, results[k].err)
-		}
-	}
-
-	var chunks []*chunk
-	chunks = append(chunks, &chunk{startBit: 0})
-	prev := int64(0)
-	for k := 1; k < n; k++ {
-		bit := results[k].bit
-		if bit < 0 || bit <= prev {
-			continue // merged into predecessor
-		}
-		c := &chunk{startBit: bit}
-		c.m.StartBit = bit
-		c.m.Find = results[k].dur
-		chunks = append(chunks, c)
-		prev = bit
-	}
-	for i := 0; i < len(chunks)-1; i++ {
-		chunks[i].stopBit = chunks[i+1].startBit
-	}
-	chunks[len(chunks)-1].last = true
-	return chunks, nil
-}
-
-func newFinder(o Options) *blockfind.Finder {
-	opts := flate.Options{Validate: true}
-	if o.ValidByte != nil {
-		opts.ValidByte = o.ValidByte
-	}
-	f := blockfind.NewWithOptions(opts)
-	if o.Confirmations > 0 {
-		f.Confirmations = o.Confirmations
-	}
-	return f
-}
-
-// stopAt wraps a visitor, halting cleanly at a bit boundary and
-// remembering the exact boundary (the decoder has already consumed
-// part of the next block's header by the time the halt fires).
-type stopAt struct {
-	inner     flate.Visitor
-	stopBit   int64
-	stoppedAt int64
-}
-
-func (s *stopAt) BlockStart(ev flate.BlockEvent) error {
-	if s.stopBit > 0 && ev.StartBit >= s.stopBit {
-		s.stoppedAt = ev.StartBit
-		return flate.Stop
-	}
-	return s.inner.BlockStart(ev)
-}
-func (s *stopAt) Literal(b byte) error         { return s.inner.Literal(b) }
-func (s *stopAt) Match(l, d int) error         { return s.inner.Match(l, d) }
-func (s *stopAt) BlockEnd(nextBit int64) error { return s.inner.BlockEnd(nextBit) }
-
-// forEachChunk runs fn(i) for i in [lo,hi), concurrently unless
-// sequential is set.
-func forEachChunk(sequential bool, lo, hi int, fn func(int)) {
-	if sequential {
-		for i := lo; i < hi; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	for i := lo; i < hi; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			fn(i)
-		}(i)
-	}
-	wg.Wait()
-}
-
-// runPass1 decompresses all chunks.
-func runPass1(payload []byte, chunks []*chunk, sequential bool) error {
-	errs := make([]error, len(chunks))
-	forEachChunk(sequential, 0, len(chunks), func(i int) {
-		c := chunks[i]
-		t := time.Now()
-		if i == 0 {
-			errs[i] = c.decodePlain(payload)
-		} else {
-			errs[i] = c.decodeTracked(payload)
-		}
-		c.m.Pass1 = time.Since(t)
-		c.m.EndBit = c.endBit
-	})
-	return errors.Join(errs...)
-}
-
-func (c *chunk) decodePlain(payload []byte) error {
-	r, err := bitio.NewReaderAt(payload, c.startBit)
-	if err != nil {
-		return err
-	}
-	sink := &flate.ByteSink{}
-	dec := flate.NewDecoder(flate.Options{})
-	dec.SetTrackStart(true)
-	v := flate.Visitor(sink)
-	var stopper *stopAt
-	if !c.last {
-		stopper = &stopAt{inner: sink, stopBit: c.stopBit, stoppedAt: -1}
-		v = stopper
-	}
-	for {
-		final, err := dec.DecodeBlock(r, v)
-		if err != nil {
-			if errors.Is(err, flate.Stop) {
-				break
-			}
-			return fmt.Errorf("core: chunk at bit %d: %w", c.startBit, err)
-		}
-		if final {
-			c.final = true
-			break
-		}
-	}
-	c.plain = sink.Out
-	if c.plain == nil {
-		// Keep the empty-output case classified as a plain chunk:
-		// layout and pass 2 distinguish plain from symbolic chunks by
-		// plain != nil (an empty first chunk happens when an empty
-		// member precedes further members in one buffer).
-		c.plain = []byte{}
-	}
-	if stopper != nil && stopper.stoppedAt >= 0 {
-		c.endBit = stopper.stoppedAt
-	} else {
-		c.endBit = r.BitPos()
-	}
-	c.m.OutBytes = int64(len(c.plain))
-	return nil
-}
-
-func (c *chunk) decodeTracked(payload []byte) error {
-	stop := c.stopBit
-	if c.last {
-		stop = 0
-	}
-	res, err := tracked.DecodeFrom(payload, c.startBit, tracked.DecodeOptions{
-		StopBit:     stop,
-		RecordSpans: true,
-	})
-	if err != nil {
-		return err
-	}
-	c.sym = res.Out
-	c.endBit = res.EndBit
-	c.final = res.Final
-	if len(res.Spans) > 0 {
-		c.firstSpan = &res.Spans[0]
-	}
-	c.m.OutBytes = int64(len(c.sym))
-	c.m.SymbolsUnresolved = int64(tracked.CountUndetermined(res.Out))
-	return nil
-}
-
-// verifyEquivalentStart checks that decoding one block at trueBit (the
-// predecessor's exact stop position) is indistinguishable from the
-// first block the successor chunk decoded from its candidate start:
-// same block type, same data bit, same end bit, same output size.
-// When all four agree the two decode paths consumed the same token
-// stream and the outputs concatenate exactly.
-func verifyEquivalentStart(payload []byte, trueBit int64, next *chunk) error {
-	if next.firstSpan == nil {
-		return errors.New("successor chunk decoded no blocks")
-	}
-	got := next.firstSpan
-	r, err := bitio.NewReaderAt(payload, trueBit)
-	if err != nil {
-		return err
-	}
-	var probe probeSink
-	dec := flate.NewDecoder(flate.Options{})
-	if _, err := dec.DecodeBlock(r, &probe); err != nil {
-		return fmt.Errorf("probe decode at bit %d: %w", trueBit, err)
-	}
-	switch {
-	case probe.ev.Type != got.Event.Type:
-		return fmt.Errorf("block type mismatch: %v vs %v", probe.ev.Type, got.Event.Type)
-	case probe.ev.DataBit != got.Event.DataBit:
-		return fmt.Errorf("data bit mismatch: %d vs %d", probe.ev.DataBit, got.Event.DataBit)
-	case probe.endBit != got.EndBit:
-		return fmt.Errorf("end bit mismatch: %d vs %d", probe.endBit, got.EndBit)
-	case probe.bytes != got.OutEnd-got.OutStart:
-		return fmt.Errorf("block size mismatch: %d vs %d", probe.bytes, got.OutEnd-got.OutStart)
-	}
-	return nil
-}
-
-// probeSink counts one block's output without materialising it.
-type probeSink struct {
-	ev     flate.BlockEvent
-	endBit int64
-	bytes  int64
-}
-
-func (p *probeSink) BlockStart(ev flate.BlockEvent) error { p.ev = ev; return nil }
-func (p *probeSink) Literal(byte) error                   { p.bytes++; return nil }
-func (p *probeSink) Match(l, _ int) error                 { p.bytes += int64(l); return nil }
-func (p *probeSink) BlockEnd(nextBit int64) error         { p.endBit = nextBit; return nil }
-
-// propagateWindows runs the sequential half of pass 2: each chunk's
-// resolved final 32 KiB window becomes the next chunk's context.
-func propagateWindows(chunks []*chunk) error {
-	w := make([]byte, tracked.WindowSize)
-	// Window after chunk 0: its last 32 KiB, zero-padded on the left
-	// for very short first chunks (symbols referencing those positions
-	// cannot occur in a valid stream).
-	p := chunks[0].plain
-	if len(p) >= tracked.WindowSize {
-		copy(w, p[len(p)-tracked.WindowSize:])
-	} else {
-		copy(w[tracked.WindowSize-len(p):], p)
-	}
-	for _, c := range chunks[1:] {
-		c.ctx = w
-		next, err := tracked.ResolveWindow(c.sym, w)
-		if err != nil {
-			return err
-		}
-		w = next
-	}
-	return nil
-}
-
-// runPass2 translates every chunk into its slot of the final buffer.
-func runPass2(chunks []*chunk, out []byte, sequential bool) error {
-	var off int64
-	for _, c := range chunks {
-		c.out = off
-		if c.plain != nil {
-			off += int64(len(c.plain))
-		} else {
-			off += int64(len(c.sym))
-		}
-	}
-	errs := make([]error, len(chunks))
-	forEachChunk(sequential, 0, len(chunks), func(i int) {
-		c := chunks[i]
-		t := time.Now()
-		if c.plain != nil {
-			copy(out[c.out:], c.plain)
-		} else {
-			dst := out[c.out : c.out+int64(len(c.sym))]
-			if _, err := tracked.Resolve(c.sym, c.ctx, dst); err != nil {
-				errs[i] = err
-			}
-		}
-		c.m.Pass2 = time.Since(t)
-	})
-	return errors.Join(errs...)
 }

@@ -1,0 +1,568 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/bitio"
+	"repro/internal/blockfind"
+	"repro/internal/flate"
+	"repro/internal/tracked"
+)
+
+// This file is the single chunk-decode engine behind every decompression
+// surface of the package: the whole-file two-pass path
+// (DecompressPayload treats the entire payload as one segment) and the
+// streaming pipeline (each bounded batch is one segment). A segment is
+// planned into chunks at confirmed block starts, pass-1 decoded in
+// parallel, trimmed and continuity-checked, then pass-2 resolved against
+// the context window that precedes it. Keeping one implementation means
+// every speed or correctness fix lands in all paths at once.
+
+// chunk is the per-goroutine working state.
+type chunk struct {
+	startBit int64
+	stopBit  int64 // 0 = decode to the stream's final block
+	last     bool
+
+	// pass-1 results
+	plain     []byte   // exact chunks (known initial context)
+	plainBuf  []byte   // pooled backing of plain (context prefix included)
+	sym       []uint16 // symbolic chunks (undetermined context)
+	symRes    *tracked.Result
+	endBit    int64
+	final     bool
+	firstSpan *flate.BlockSpan // first decoded block (symbolic chunks)
+
+	ctx []byte // resolved initial context (pass 2)
+	out int64  // offset of this chunk's bytes in the segment output
+
+	m ChunkMetrics
+}
+
+func (c *chunk) outLen() int64 {
+	if c.plain != nil {
+		return int64(len(c.plain))
+	}
+	return int64(len(c.sym))
+}
+
+// releaseScratch returns the chunk's pass-1 buffers to their pools.
+// Safe to call twice; called after translation and on every failure
+// path (streaming retries a failed segment with a larger window, so
+// failure is routine, not exceptional).
+func (c *chunk) releaseScratch() {
+	if c.symRes != nil {
+		c.symRes.Release()
+		c.symRes, c.sym, c.firstSpan = nil, nil, nil
+	}
+	if c.plainBuf != nil {
+		putPlainBuf(c.plainBuf)
+		c.plainBuf, c.plain = nil, nil
+	}
+}
+
+// ErrNoFinalBlock is returned when the stream ends without a final
+// block (truncated input).
+var ErrNoFinalBlock = errors.New("core: stream has no final block (truncated?)")
+
+// segment is one decoded extent of a DEFLATE stream: the unit shared by
+// the whole-file engine (one segment = the whole payload) and the
+// streaming pipeline (one segment = one batch).
+type segment struct {
+	chunks []*chunk
+	out    []byte // translated output
+	window []byte // resolved last 32 KiB (context for the next segment)
+	endBit int64  // bit offset just past the last decoded block
+	final  bool   // the stream's final block was reached
+
+	syncWall     time.Duration
+	pass1Wall    time.Duration
+	pass2SeqWall time.Duration
+	pass2ParWall time.Duration
+}
+
+// release returns the segment's pooled resources (the resolved window)
+// once the caller is done carrying context forward. The output buffer
+// is not pooled: its ownership transfers to the caller.
+func (s *segment) release() {
+	tracked.PutWindow(s.window)
+	s.window = nil
+}
+
+// decodeSegment is THE chunk decoder. It decompresses the segment
+// starting at startBit (a true block start) whose compressed extent is
+// roughly spanBytes, given the resolved 32 KiB context that precedes it
+// (nil when startBit is the true start of the stream, where
+// back-references before the start are invalid and rejected).
+//
+// payload may be a window onto a longer stream: a successful decode of
+// a prefix is identical to the decode over the full stream, and a
+// decode that runs off the end of the window fails (the caller buffers
+// more and retries).
+func decodeSegment(payload []byte, startBit int64, spanBytes int64, ctx []byte, o Options) (*segment, error) {
+	seg := &segment{}
+
+	// --- Sync: locate one confirmed block start per chunk boundary.
+	tSync := time.Now()
+	chunks, err := planSegment(payload, startBit, spanBytes, o)
+	if err != nil {
+		return nil, err
+	}
+	seg.syncWall = time.Since(tSync)
+
+	// On any failure below, hand every chunk's pass-1 scratch back to
+	// the pools: the streaming caller retries failed segments with a
+	// larger window, so the failure path is as hot as the success path.
+	fail := func(err error) (*segment, error) {
+		for _, c := range chunks {
+			c.releaseScratch()
+		}
+		return nil, err
+	}
+
+	// --- Pass 1: parallel decompression. The first chunk decodes
+	// exactly (its context is known); later chunks decode with symbolic
+	// contexts.
+	tP1 := time.Now()
+	if err := runPass1(payload, chunks, ctx, o.Sequential); err != nil {
+		return fail(err)
+	}
+	seg.pass1Wall = time.Since(tP1)
+
+	// Trim chunks past the end of the member: when the input buffer
+	// extends beyond one DEFLATE stream (a multi-member gzip file, or
+	// trailing data), the chunk that reaches the stream's final block
+	// ends the member and later chunks — which synced into whatever
+	// follows — are discarded.
+	lastPlanned := chunks[len(chunks)-1]
+	for i, c := range chunks {
+		if c.final {
+			for _, dropped := range chunks[i+1:] {
+				dropped.releaseScratch()
+			}
+			chunks = chunks[:i+1]
+			seg.final = true
+			break
+		}
+	}
+	if !seg.final && lastPlanned.last {
+		// The segment was unbounded on the right (planned to run to the
+		// stream's final block) yet never reached one: truncated input.
+		return fail(ErrNoFinalBlock)
+	}
+	// Continuity check: every chunk must stop exactly where its
+	// successor starts. Stored blocks make the start bit ambiguous
+	// (any zero bit inside the byte-alignment padding decodes
+	// identically), so on a bit mismatch we verify equivalence by
+	// probing one block at the predecessor's true stop position and
+	// comparing it against the successor's first decoded block. A real
+	// mismatch means a confirmed-but-false block start slipped through
+	// the stringent checks; we fail loudly rather than emit corrupt
+	// output (callers may retry sequentially).
+	for i := 0; i < len(chunks)-1; i++ {
+		if chunks[i].endBit == chunks[i+1].startBit {
+			continue
+		}
+		if err := verifyEquivalentStart(payload, chunks[i].endBit, chunks[i+1]); err != nil {
+			return fail(fmt.Errorf(
+				"core: chunk %d ended at bit %d but chunk %d starts at bit %d: %w",
+				i, chunks[i].endBit, i+1, chunks[i+1].startBit, err))
+		}
+	}
+	seg.chunks = chunks
+	seg.endBit = chunks[len(chunks)-1].endBit
+
+	// --- Pass 2: resolve windows sequentially, translate in parallel.
+	// resolveSegment owns scratch release from here on.
+	if err := resolveSegment(seg, ctx, o.Sequential); err != nil {
+		return fail(err)
+	}
+	return seg, nil
+}
+
+// planSegment finds the chunk block starts for the segment beginning at
+// startBit with compressed extent spanBytes. Boundary k targets byte
+// offset start + k*span/n; the k-th chunk begins at the first confirmed
+// block start at or after that target. Boundaries that resolve to the
+// same block start (or none before the next boundary) are merged. A
+// terminal probe at the segment end finds the stop boundary; when none
+// exists (end of stream) the last chunk decodes to the final block.
+func planSegment(payload []byte, startBit int64, spanBytes int64, o Options) ([]*chunk, error) {
+	startByte := startBit / 8
+	endByte := startByte + spanBytes
+	if endByte > int64(len(payload)) {
+		endByte = int64(len(payload))
+	}
+	span := endByte - startByte
+
+	n := o.Threads
+	if n < 1 {
+		n = 1
+	}
+	minChunk := o.MinChunk
+	if minChunk <= 0 {
+		minChunk = defaultMinChunk
+	}
+	if maxN := int(span) / minChunk; n > maxN {
+		n = maxN
+		if n < 1 {
+			n = 1
+		}
+	}
+
+	type found struct {
+		bit int64
+		dur time.Duration
+		err error
+	}
+	// results[0] is fixed at startBit; results[n] is the terminal probe
+	// locating the segment's stop boundary (-1 = none before EOF).
+	results := make([]found, n+1)
+	results[0] = found{bit: startBit}
+	forEachChunk(o.Sequential, 1, n+1, func(k int) {
+		t := time.Now()
+		f := newFinder(o)
+		target := startByte + int64(k)*span/int64(n)
+		bit, err := f.Next(payload, target*8)
+		if errors.Is(err, blockfind.ErrNotFound) {
+			// No block start in the remainder of this boundary's span:
+			// the chunk merges into its predecessor (or, for the
+			// terminal probe, the segment runs to the final block).
+			results[k] = found{bit: -1, dur: time.Since(t)}
+			return
+		}
+		results[k] = found{bit: bit, dur: time.Since(t), err: err}
+	})
+	for k := 1; k <= n; k++ {
+		if results[k].err != nil {
+			return nil, fmt.Errorf("core: chunk %d sync: %w", k, results[k].err)
+		}
+	}
+
+	var chunks []*chunk
+	prev := int64(-1)
+	for k := 0; k < n; k++ {
+		bit := results[k].bit
+		if bit < 0 || bit <= prev {
+			continue // merged into predecessor
+		}
+		c := &chunk{startBit: bit}
+		c.m.StartBit = bit
+		c.m.Find = results[k].dur
+		chunks = append(chunks, c)
+		prev = bit
+	}
+	for i := 0; i < len(chunks)-1; i++ {
+		chunks[i].stopBit = chunks[i+1].startBit
+	}
+	lastChunk := chunks[len(chunks)-1]
+	switch stopBit := results[n].bit; {
+	case stopBit > prev:
+		lastChunk.stopBit = stopBit
+	case stopBit < 0:
+		// No non-final block start remains after the segment span: the
+		// tail holds at most the final block; decode to it.
+		lastChunk.last = true
+	default:
+		// The only boundary at/after the segment end is the last chunk's
+		// own start (an unusually large block): decode exactly one
+		// block so the segment stays bounded.
+		lastChunk.stopBit = prev + 1
+	}
+	return chunks, nil
+}
+
+func newFinder(o Options) *blockfind.Finder {
+	opts := flate.Options{Validate: true}
+	if o.ValidByte != nil {
+		opts.ValidByte = o.ValidByte
+	}
+	f := blockfind.NewWithOptions(opts)
+	if o.Confirmations > 0 {
+		f.Confirmations = o.Confirmations
+	}
+	return f
+}
+
+// forEachChunk runs fn(i) for i in [lo,hi), concurrently unless
+// sequential is set.
+func forEachChunk(sequential bool, lo, hi int, fn func(int)) {
+	if sequential {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := lo; i < hi; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// runPass1 decompresses all chunks. The first chunk's initial context
+// is known — ctx when mid-stream, empty at the true stream start — so
+// it decodes exactly into bytes; the rest decode with fully
+// undetermined symbolic contexts.
+func runPass1(payload []byte, chunks []*chunk, ctx []byte, sequential bool) error {
+	errs := make([]error, len(chunks))
+	forEachChunk(sequential, 0, len(chunks), func(i int) {
+		c := chunks[i]
+		t := time.Now()
+		if i == 0 {
+			errs[i] = c.decodePlain(payload, ctx)
+		} else {
+			errs[i] = c.decodeTracked(payload)
+		}
+		c.m.Pass1 = time.Since(t)
+		c.m.EndBit = c.endBit
+	})
+	return errors.Join(errs...)
+}
+
+// stopAt wraps a visitor, halting cleanly at a bit boundary and
+// remembering the exact boundary (the decoder has already consumed
+// part of the next block's header by the time the halt fires).
+type stopAt struct {
+	inner     flate.Visitor
+	stopBit   int64
+	stoppedAt int64
+}
+
+func (s *stopAt) BlockStart(ev flate.BlockEvent) error {
+	if s.stopBit > 0 && ev.StartBit >= s.stopBit {
+		s.stoppedAt = ev.StartBit
+		return flate.Stop
+	}
+	return s.inner.BlockStart(ev)
+}
+func (s *stopAt) Literal(b byte) error         { return s.inner.Literal(b) }
+func (s *stopAt) Match(l, d int) error         { return s.inner.Match(l, d) }
+func (s *stopAt) BlockEnd(nextBit int64) error { return s.inner.BlockEnd(nextBit) }
+
+// decodePlain decodes a chunk whose initial context is known exactly:
+// nil ctx means the true start of the stream (back-references before
+// the start are rejected, as in a normal gunzip); otherwise the sink is
+// seeded with the 32 KiB window so mid-stream references resolve to
+// real bytes immediately — no symbolic detour, no pass-2 translation.
+func (c *chunk) decodePlain(payload []byte, ctx []byte) error {
+	r, err := bitio.NewReaderAt(payload, c.startBit)
+	if err != nil {
+		return err
+	}
+	sink := &flate.ByteSink{Out: getPlainBuf()}
+	dec := flate.GetDecoder(flate.Options{})
+	defer flate.PutDecoder(dec)
+	if ctx == nil {
+		dec.SetTrackStart(true)
+	} else {
+		sink.Out = append(sink.Out, ctx...)
+		sink.Prefix = len(ctx)
+	}
+	v := flate.Visitor(sink)
+	var stopper *stopAt
+	if !c.last {
+		stopper = &stopAt{inner: sink, stopBit: c.stopBit, stoppedAt: -1}
+		v = stopper
+	}
+	for {
+		final, err := dec.DecodeBlock(r, v)
+		if err != nil {
+			if errors.Is(err, flate.Stop) {
+				break
+			}
+			putPlainBuf(sink.Out)
+			return fmt.Errorf("core: chunk at bit %d: %w", c.startBit, err)
+		}
+		if final {
+			c.final = true
+			break
+		}
+	}
+	c.plainBuf = sink.Out
+	c.plain = sink.Output()
+	if c.plain == nil {
+		// Keep the empty-output case classified as a plain chunk:
+		// layout and pass 2 distinguish plain from symbolic chunks by
+		// plain != nil (an empty first chunk happens when an empty
+		// member precedes further members in one buffer).
+		c.plain = []byte{}
+	}
+	if stopper != nil && stopper.stoppedAt >= 0 {
+		c.endBit = stopper.stoppedAt
+	} else {
+		c.endBit = r.BitPos()
+	}
+	c.m.OutBytes = int64(len(c.plain))
+	return nil
+}
+
+func (c *chunk) decodeTracked(payload []byte) error {
+	stop := c.stopBit
+	if c.last {
+		stop = 0
+	}
+	res, err := tracked.DecodeFrom(payload, c.startBit, tracked.DecodeOptions{
+		StopBit:     stop,
+		RecordSpans: true,
+	})
+	if err != nil {
+		return err
+	}
+	c.sym = res.Out
+	c.symRes = res
+	c.endBit = res.EndBit
+	c.final = res.Final
+	if len(res.Spans) > 0 {
+		c.firstSpan = &res.Spans[0]
+	}
+	c.m.OutBytes = int64(len(c.sym))
+	c.m.SymbolsUnresolved = int64(tracked.CountUndetermined(res.Out))
+	return nil
+}
+
+// verifyEquivalentStart checks that decoding one block at trueBit (the
+// predecessor's exact stop position) is indistinguishable from the
+// first block the successor chunk decoded from its candidate start:
+// same block type, same data bit, same end bit, same output size.
+// When all four agree the two decode paths consumed the same token
+// stream and the outputs concatenate exactly.
+func verifyEquivalentStart(payload []byte, trueBit int64, next *chunk) error {
+	if next.firstSpan == nil {
+		return errors.New("successor chunk decoded no blocks")
+	}
+	got := next.firstSpan
+	r, err := bitio.NewReaderAt(payload, trueBit)
+	if err != nil {
+		return err
+	}
+	var probe probeSink
+	dec := flate.NewDecoder(flate.Options{})
+	defer flate.PutDecoder(dec)
+	if _, err := dec.DecodeBlock(r, &probe); err != nil {
+		return fmt.Errorf("probe decode at bit %d: %w", trueBit, err)
+	}
+	switch {
+	case probe.ev.Type != got.Event.Type:
+		return fmt.Errorf("block type mismatch: %v vs %v", probe.ev.Type, got.Event.Type)
+	case probe.ev.DataBit != got.Event.DataBit:
+		return fmt.Errorf("data bit mismatch: %d vs %d", probe.ev.DataBit, got.Event.DataBit)
+	case probe.endBit != got.EndBit:
+		return fmt.Errorf("end bit mismatch: %d vs %d", probe.endBit, got.EndBit)
+	case probe.bytes != got.OutEnd-got.OutStart:
+		return fmt.Errorf("block size mismatch: %d vs %d", probe.bytes, got.OutEnd-got.OutStart)
+	}
+	return nil
+}
+
+// probeSink counts one block's output without materialising it.
+type probeSink struct {
+	ev     flate.BlockEvent
+	endBit int64
+	bytes  int64
+}
+
+func (p *probeSink) BlockStart(ev flate.BlockEvent) error { p.ev = ev; return nil }
+func (p *probeSink) Literal(byte) error                   { p.bytes++; return nil }
+func (p *probeSink) Match(l, _ int) error                 { p.bytes += int64(l); return nil }
+func (p *probeSink) BlockEnd(nextBit int64) error         { p.endBit = nextBit; return nil }
+
+// resolveSegment runs pass 2 over a segment: the cheap sequential sweep
+// propagates each chunk's resolved final 32 KiB window to its successor
+// (w_{i+1} = resolve(tail(D_i), w_i), Figure 3), then every chunk
+// translates its output into its slot of the segment buffer in
+// parallel. ctx is the resolved window preceding the segment (nil =
+// zeros at the true stream start). On return the pass-1 scratch (plain
+// buffers, symbolic buffers, per-chunk windows) is back in the pools.
+func resolveSegment(seg *segment, ctx []byte, sequential bool) error {
+	chunks := seg.chunks
+
+	// Layout: prefix sums of chunk output sizes.
+	var total int64
+	for _, c := range chunks {
+		c.out = total
+		total += c.outLen()
+	}
+	out := make([]byte, total)
+
+	// Pass 2a (sequential): propagate resolved windows. Every window in
+	// the chain is pooled except the caller's own ctx; the final one is
+	// handed to the caller as seg.window.
+	releaseChain := func() {
+		for _, c := range chunks {
+			if len(ctx) == 0 || len(c.ctx) == 0 || &c.ctx[0] != &ctx[0] {
+				tracked.PutWindow(c.ctx)
+			}
+			c.ctx = nil
+		}
+	}
+	tSeq := time.Now()
+	w := ctx
+	if w == nil {
+		w = tracked.GetWindow() // zeroed: the stream's true start
+	}
+	for _, c := range chunks {
+		c.ctx = w
+		next := tracked.GetWindow()
+		var err error
+		if c.plain != nil {
+			shiftWindow(next, w, c.plain)
+		} else {
+			err = tracked.ResolveWindowInto(next, c.sym, w)
+		}
+		if err != nil {
+			tracked.PutWindow(next)
+			releaseChain()
+			return err
+		}
+		w = next
+	}
+	seg.pass2SeqWall = time.Since(tSeq)
+
+	// Pass 2b (parallel): translate every chunk into place.
+	tPar := time.Now()
+	errs := make([]error, len(chunks))
+	forEachChunk(sequential, 0, len(chunks), func(i int) {
+		c := chunks[i]
+		t := time.Now()
+		if c.plain != nil {
+			copy(out[c.out:], c.plain)
+		} else {
+			dst := out[c.out : c.out+int64(len(c.sym))]
+			if _, err := tracked.Resolve(c.sym, c.ctx, dst); err != nil {
+				errs[i] = err
+			}
+		}
+		c.m.Pass2 = time.Since(t)
+	})
+	seg.pass2ParWall = time.Since(tPar)
+	releaseChain()
+	for _, c := range chunks {
+		c.releaseScratch()
+	}
+	if err := errors.Join(errs...); err != nil {
+		tracked.PutWindow(w)
+		return err
+	}
+	seg.out = out
+	seg.window = w
+	return nil
+}
+
+// shiftWindow fills dst with the 32 KiB window that follows producing
+// tail after window prev: the last WindowSize bytes of prev ++ tail.
+func shiftWindow(dst, prev, tail []byte) {
+	if len(tail) >= tracked.WindowSize {
+		copy(dst, tail[len(tail)-tracked.WindowSize:])
+		return
+	}
+	copy(dst, prev[len(tail):])
+	copy(dst[tracked.WindowSize-len(tail):], tail)
+}

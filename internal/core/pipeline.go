@@ -131,23 +131,26 @@ func (p *Pipeline) Close() { p.win.Close() }
 // leaves the window positioned at the byte containing that bit, so the
 // caller can resume framing at the following byte boundary.
 func (p *Pipeline) RunMember(emit func([]byte) error) (int64, error) {
-	ctx := make([]byte, tracked.WindowSize)
+	ctx := tracked.GetWindow() // zeroed: the member's true start
+	defer func() { tracked.PutWindow(ctx) }()
 	startBit := p.win.Base() * 8
 	for {
-		batch, err := p.decodeNext(startBit, ctx)
+		seg, err := p.decodeNext(startBit, ctx)
 		if err != nil {
 			return 0, err
 		}
-		if err := emit(batch.out); err != nil {
+		if err := emit(seg.out); err != nil {
+			seg.release()
 			return 0, err
 		}
 		p.batches.Add(1)
-		p.outBytes.Add(int64(len(batch.out)))
-		ctx = batch.window
-		endAbs := p.win.Base()*8 + batch.endBit
+		p.outBytes.Add(int64(len(seg.out)))
+		tracked.PutWindow(ctx)
+		ctx = seg.window
+		endAbs := p.win.Base()*8 + seg.endBit
 		p.win.DiscardTo(endAbs / 8)
 		startBit = endAbs
-		if batch.final {
+		if seg.final {
 			return endAbs, nil
 		}
 	}
@@ -157,8 +160,9 @@ func (p *Pipeline) RunMember(emit func([]byte) error) (int64, error) {
 // growing the window and retrying when a decode runs off the buffered
 // data before the source is exhausted. A decode of a window prefix that
 // succeeds is identical to the decode over the full stream (DEFLATE is
-// prefix-deterministic), so retry is only ever needed on error.
-func (p *Pipeline) decodeNext(startBit int64, ctx []byte) (*batchResult, error) {
+// prefix-deterministic), so retry is only ever needed on error. Each
+// batch is one segment of the shared chunk-decode engine.
+func (p *Pipeline) decodeNext(startBit int64, ctx []byte) (*segment, error) {
 	need := p.batchBytes + batchSlack
 	for {
 		if err := p.win.Fill(need); errors.Is(err, srcbuf.ErrClosed) {
@@ -167,9 +171,9 @@ func (p *Pipeline) decodeNext(startBit int64, ctx []byte) (*batchResult, error) 
 		// Decode whatever is resident even if the source just failed:
 		// an io.Reader may deliver its final bytes alongside its error.
 		rel := startBit - p.win.Base()*8
-		batch, err := decodeBatch(p.win.Bytes(), rel, p.batchBytes, ctx, p.inner)
+		seg, err := decodeSegment(p.win.Bytes(), rel, int64(p.batchBytes), ctx, p.inner)
 		if err == nil {
-			return batch, nil
+			return seg, nil
 		}
 		if p.win.EOF() {
 			if srcErr := p.win.Err(); srcErr != nil {

@@ -1,0 +1,23 @@
+package core
+
+import "sync"
+
+// plainBufPool recycles the byte buffers that exact (known-context)
+// chunks decode into. One is taken per segment's first chunk and
+// returned after pass-2 translation copies it into the segment output,
+// so steady-state streaming stops allocating a fresh multi-megabyte
+// buffer per batch.
+var plainBufPool = sync.Pool{
+	New: func() any { return make([]byte, 0, 256<<10) },
+}
+
+func getPlainBuf() []byte {
+	return plainBufPool.Get().([]byte)[:0]
+}
+
+func putPlainBuf(buf []byte) {
+	if cap(buf) == 0 {
+		return
+	}
+	plainBufPool.Put(buf[:0]) //nolint:staticcheck // slice header boxing is fine here
+}

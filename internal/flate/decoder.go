@@ -3,6 +3,7 @@ package flate
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/bitio"
 	"repro/internal/huffman"
@@ -117,11 +118,21 @@ type Decoder struct {
 	// back-references before the start when TrackStart is set.
 	total      int64
 	trackStart bool
+	// storedBuf is reusable scratch for stored-block payloads.
+	storedBuf []byte
 }
 
 // NewDecoder returns a Decoder with the given options.
 func NewDecoder(opts Options) *Decoder {
-	d := &Decoder{opts: opts}
+	d := &Decoder{}
+	d.reset(opts)
+	return d
+}
+
+// reset reinitialises a (possibly recycled) Decoder for opts. The
+// Huffman tables need no clearing: every block re-Inits them.
+func (d *Decoder) reset(opts Options) {
+	d.opts = opts
 	d.valid = opts.ValidByte
 	if d.valid == nil {
 		d.valid = ASCIIByte
@@ -132,7 +143,31 @@ func NewDecoder(opts Options) *Decoder {
 	if d.opts.MinBlockOutput == 0 {
 		d.opts.MinBlockOutput = defaultMinBlockOutput
 	}
+	d.produced = 0
+	d.total = 0
+	d.trackStart = false
+}
+
+// decoderPool recycles Decoders. A Decoder carries several KiB of
+// Huffman table scratch, and the parallel engine creates one per chunk
+// per segment — pooling keeps steady-state streaming allocation-free.
+var decoderPool = sync.Pool{
+	New: func() any { return &Decoder{} },
+}
+
+// GetDecoder returns a pooled Decoder initialised with opts. Pair with
+// PutDecoder when done; the Decoder must not be used afterwards.
+func GetDecoder(opts Options) *Decoder {
+	d := decoderPool.Get().(*Decoder)
+	d.reset(opts)
 	return d
+}
+
+// PutDecoder returns a Decoder to the pool.
+func PutDecoder(d *Decoder) {
+	if d != nil {
+		decoderPool.Put(d)
+	}
 }
 
 // SetTrackStart makes the decoder reject any back-reference that
@@ -223,7 +258,10 @@ func (d *Decoder) decodeStored(r *bitio.Reader, v Visitor, ev BlockEvent) error 
 	if err := v.BlockStart(ev); err != nil {
 		return err
 	}
-	buf := make([]byte, n)
+	if cap(d.storedBuf) < n {
+		d.storedBuf = make([]byte, n)
+	}
+	buf := d.storedBuf[:n]
 	if err := r.ReadBytes(buf); err != nil {
 		return ErrTruncated
 	}
@@ -254,7 +292,11 @@ func (d *Decoder) readDynamicHeader(r *bitio.Reader) error {
 	hlit := int(counts&0x1f) + 257
 	hdist := int(counts>>5&0x1f) + 1
 	hclen := int(counts>>10&0xf) + 4
+	quiet := d.opts.Validate // probe mode: bare sentinels, no alloc
 	if hlit > maxLitLenSyms {
+		if quiet {
+			return ErrBadHuffmanTree
+		}
 		// HLIT of 30 or 31 encodes 287/288 literal codes; 287+1=288 is
 		// legal (symbol 287 exists in the fixed tree), >288 is not
 		// encodable, but hlit can reach 286+? 5 bits -> 257..288.
@@ -270,6 +312,9 @@ func (d *Decoder) readDynamicHeader(r *bitio.Reader) error {
 		d.clLens[codeLenOrder[i]] = uint8(b)
 	}
 	if err := d.codeLen.Init(d.clLens[:], false); err != nil {
+		if quiet {
+			return ErrBadHuffmanTree
+		}
 		return fmt.Errorf("%w: code-length tree: %v", ErrBadHuffmanTree, err)
 	}
 
@@ -279,6 +324,9 @@ func (d *Decoder) readDynamicHeader(r *bitio.Reader) error {
 	for i := 0; i < total; {
 		sym, err := d.codeLen.Decode(r)
 		if err != nil {
+			if quiet {
+				return ErrBadHuffmanTree
+			}
 			return fmt.Errorf("%w: %v", ErrBadHuffmanTree, err)
 		}
 		switch {
@@ -287,6 +335,9 @@ func (d *Decoder) readDynamicHeader(r *bitio.Reader) error {
 			i++
 		case sym == 16:
 			if i == 0 {
+				if quiet {
+					return ErrBadHuffmanTree
+				}
 				return fmt.Errorf("%w: repeat with no previous length", ErrBadHuffmanTree)
 			}
 			rep, err := r.Take(2)
@@ -295,6 +346,9 @@ func (d *Decoder) readDynamicHeader(r *bitio.Reader) error {
 			}
 			n := int(rep) + 3
 			if i+n > total {
+				if quiet {
+					return ErrBadHuffmanTree
+				}
 				return fmt.Errorf("%w: repeat past end", ErrBadHuffmanTree)
 			}
 			prev := lens[i-1]
@@ -309,6 +363,9 @@ func (d *Decoder) readDynamicHeader(r *bitio.Reader) error {
 			}
 			n := int(rep) + 3
 			if i+n > total {
+				if quiet {
+					return ErrBadHuffmanTree
+				}
 				return fmt.Errorf("%w: zero-repeat past end", ErrBadHuffmanTree)
 			}
 			i += n
@@ -319,20 +376,35 @@ func (d *Decoder) readDynamicHeader(r *bitio.Reader) error {
 			}
 			n := int(rep) + 11
 			if i+n > total {
+				if quiet {
+					return ErrBadHuffmanTree
+				}
 				return fmt.Errorf("%w: zero-repeat past end", ErrBadHuffmanTree)
 			}
 			i += n
 		default:
+			if quiet {
+				return ErrBadHuffmanTree
+			}
 			return fmt.Errorf("%w: code-length symbol %d", ErrBadHuffmanTree, sym)
 		}
 	}
 	if lens[endOfBlock] == 0 {
+		if quiet {
+			return ErrBadHuffmanTree
+		}
 		return fmt.Errorf("%w: no end-of-block code", ErrBadHuffmanTree)
 	}
 	if err := d.litLen.Init(lens[:hlit], false); err != nil {
+		if quiet {
+			return ErrBadHuffmanTree
+		}
 		return fmt.Errorf("%w: litlen tree: %v", ErrBadHuffmanTree, err)
 	}
 	if err := d.dist.Init(lens[hlit:total], true); err != nil {
+		if quiet {
+			return ErrBadHuffmanTree
+		}
 		return fmt.Errorf("%w: dist tree: %v", ErrBadHuffmanTree, err)
 	}
 	return nil
@@ -348,6 +420,9 @@ func (d *Decoder) decodeCompressed(r *bitio.Reader, v Visitor, ev BlockEvent) er
 	for {
 		sym, err := d.litLen.Decode(r)
 		if err != nil {
+			if validate {
+				return ErrTruncated
+			}
 			return fmt.Errorf("%w: %v", ErrTruncated, err)
 		}
 		switch {
@@ -382,6 +457,9 @@ func (d *Decoder) decodeCompressed(r *bitio.Reader, v Visitor, ev BlockEvent) er
 
 			dsym, err := d.dist.Decode(r)
 			if err != nil {
+				if validate {
+					return ErrTruncated
+				}
 				return fmt.Errorf("%w: %v", ErrTruncated, err)
 			}
 			if dsym >= len(distBase) {

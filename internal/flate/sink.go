@@ -8,14 +8,26 @@ import (
 
 // ByteSink is a Visitor that materialises the decompressed stream into
 // a flat byte slice. It is the "plain gunzip" consumer: back-references
-// must land inside the bytes already produced.
+// must land inside the bytes already produced — or inside a seeded
+// context prefix (see Prefix), which is how a mid-stream chunk whose
+// 32 KiB window is already known decodes exactly without the symbolic
+// detour.
 type ByteSink struct {
 	Out []byte
+	// Prefix marks the first Prefix bytes of Out as seeded context (a
+	// known history window, not produced output). Back-references may
+	// reach into it; Output() excludes it. Callers seed it by filling
+	// Out with the window before decoding.
+	Prefix int
 	// Blocks, when non-nil recording is enabled via RecordBlocks,
 	// accumulates one entry per decoded block.
 	Blocks []BlockSpan
 	record bool
 }
+
+// Output returns the decoded bytes, excluding any seeded context
+// prefix. The slice aliases the sink's buffer.
+func (s *ByteSink) Output() []byte { return s.Out[s.Prefix:] }
 
 // BlockSpan describes one decoded block: its bit extent in the
 // compressed stream and byte extent in the output.
@@ -35,7 +47,7 @@ var ErrDanglingRef = errors.New("flate: back-reference before output start")
 
 func (s *ByteSink) BlockStart(ev BlockEvent) error {
 	if s.record {
-		s.Blocks = append(s.Blocks, BlockSpan{Event: ev, OutStart: int64(len(s.Out))})
+		s.Blocks = append(s.Blocks, BlockSpan{Event: ev, OutStart: int64(len(s.Out) - s.Prefix)})
 	}
 	return nil
 }
@@ -67,7 +79,7 @@ func (s *ByteSink) BlockEnd(nextBit int64) error {
 	if s.record {
 		last := &s.Blocks[len(s.Blocks)-1]
 		last.EndBit = nextBit
-		last.OutEnd = int64(len(s.Out))
+		last.OutEnd = int64(len(s.Out) - s.Prefix)
 	}
 	return nil
 }

@@ -85,6 +85,20 @@ func Build(payload []byte, spacing int64) (*Index, error) {
 	return ix, nil
 }
 
+// FindCheckpoint returns the last checkpoint at or before decompressed
+// offset off — the restart point a positional read decodes forward
+// from. Callers reading through a windowed byte source use it to
+// position the window before calling ReadAtWindow.
+func (ix *Index) FindCheckpoint(off int64) (*Checkpoint, error) {
+	if off < 0 {
+		return nil, fmt.Errorf("gzindex: negative offset %d", off)
+	}
+	if off >= ix.OutSize {
+		return nil, fmt.Errorf("gzindex: offset %d past end %d", off, ix.OutSize)
+	}
+	return ix.findCheckpoint(off)
+}
+
 // findCheckpoint returns the last checkpoint at or before off.
 func (ix *Index) findCheckpoint(off int64) (*Checkpoint, error) {
 	if len(ix.Checkpoints) == 0 {
@@ -146,6 +160,15 @@ func (s *windowSink) output() []byte       { return s.hist[windowSize:] }
 // off, decoding forward from the nearest checkpoint. It returns the
 // number of bytes read; short reads happen only at end of stream.
 func (ix *Index) ReadAt(payload []byte, p []byte, off int64) (int, error) {
+	return ix.ReadAtWindow(payload, 0, p, off)
+}
+
+// ReadAtWindow is ReadAt over a window of the payload: win[0] is
+// payload byte winBase, and the window must start at or before the
+// checkpoint governing off (see FindCheckpoint). A window too short
+// for the read fails with a truncation-style error; callers backed by
+// a partial byte source grow the window and retry.
+func (ix *Index) ReadAtWindow(win []byte, winBase int64, p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("gzindex: negative offset %d", off)
 	}
@@ -156,14 +179,19 @@ func (ix *Index) ReadAt(payload []byte, p []byte, off int64) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	r, err := bitio.NewReaderAt(payload, cp.Bit)
+	relBit := cp.Bit - winBase*8
+	if relBit < 0 {
+		return 0, fmt.Errorf("gzindex: window at byte %d starts past checkpoint bit %d", winBase, cp.Bit)
+	}
+	r, err := bitio.NewReaderAt(win, relBit)
 	if err != nil {
 		return 0, err
 	}
 	need := int(off-cp.Out) + len(p)
 	sink := &windowSink{hist: make([]byte, 0, windowSize+need+flate.MaxMatch), limit: need}
 	sink.hist = append(sink.hist, cp.Window...)
-	dec := flate.NewDecoder(flate.Options{})
+	dec := flate.GetDecoder(flate.Options{})
+	defer flate.PutDecoder(dec)
 	for sink.produced() < need {
 		final, err := dec.DecodeBlock(r, sink)
 		if err != nil {

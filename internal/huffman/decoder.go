@@ -202,6 +202,12 @@ func reverseBits(v uint32, n uint) uint32 {
 // input).
 var ErrInvalidCode = errors.New("huffman: invalid code in stream")
 
+// errTruncatedCode is the pre-wrapped truncation variant of
+// ErrInvalidCode. It is allocated once: the block scanner hits this
+// path on a large fraction of its millions of probe offsets, so
+// constructing a fresh wrapper per miss would dominate allocations.
+var errTruncatedCode = fmt.Errorf("huffman: truncated input: %w", ErrInvalidCode)
+
 // BitSource is the subset of *bitio.Reader the decoder needs. Defined
 // as an interface so tests can use synthetic sources; the hot decode
 // loops in internal/flate use the concrete *bitio.Reader via
@@ -226,7 +232,7 @@ func (d *Decoder) Decode(src BitSource) (int, error) {
 		return 0, ErrInvalidCode
 	}
 	if int64(l) > src.Len() {
-		return 0, fmt.Errorf("huffman: truncated input: %w", ErrInvalidCode)
+		return 0, errTruncatedCode
 	}
 	if err := src.Drop(l); err != nil {
 		return 0, err

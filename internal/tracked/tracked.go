@@ -15,6 +15,7 @@ package tracked
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/bitio"
 	"repro/internal/flate"
@@ -58,11 +59,61 @@ type Sink struct {
 // NewSink returns a Sink with a fully undetermined initial context and
 // capacity for sizeHint output entries.
 func NewSink(sizeHint int) *Sink {
-	s := &Sink{buf: make([]uint16, WindowSize, WindowSize+sizeHint), StoppedAt: -1}
+	s := &Sink{buf: getSymBuf(WindowSize + sizeHint), StoppedAt: -1}
+	s.buf = s.buf[:WindowSize]
 	for j := 0; j < WindowSize; j++ {
 		s.buf[j] = uint16(SymBase + j)
 	}
 	return s
+}
+
+// --- Buffer pools -----------------------------------------------------
+//
+// The parallel engine decodes one symbolic buffer per chunk per batch
+// and one resolved 32 KiB window per chunk; at streaming rates that is
+// thousands of multi-megabyte allocations per file. The pools below let
+// the hot path recycle both: symbolic buffers return via
+// Result.Release once pass-2 translation has consumed them, windows via
+// PutWindow once the propagation chain moves past them.
+
+var symBufPool = sync.Pool{
+	New: func() any { return make([]uint16, 0, WindowSize+64<<10) },
+}
+
+func getSymBuf(capHint int) []uint16 {
+	b := symBufPool.Get().([]uint16)
+	if cap(b) < capHint {
+		symBufPool.Put(b[:0]) //nolint:staticcheck
+		b = make([]uint16, 0, capHint)
+	}
+	return b[:0]
+}
+
+func putSymBuf(b []uint16) {
+	if cap(b) == 0 {
+		return
+	}
+	symBufPool.Put(b[:0]) //nolint:staticcheck
+}
+
+var windowPool = sync.Pool{
+	New: func() any { return make([]byte, WindowSize) },
+}
+
+// GetWindow returns a zeroed WindowSize context buffer from the pool.
+func GetWindow() []byte {
+	w := windowPool.Get().([]byte)
+	clear(w)
+	return w
+}
+
+// PutWindow returns a window obtained from GetWindow (or ResolveWindow)
+// to the pool. Putting nil is a no-op.
+func PutWindow(w []byte) {
+	if cap(w) < WindowSize {
+		return
+	}
+	windowPool.Put(w[:WindowSize]) //nolint:staticcheck
 }
 
 // RecordSpans enables per-block span recording.
@@ -125,6 +176,17 @@ type Result struct {
 	Spans  []flate.BlockSpan
 	EndBit int64 // bit offset after the last fully decoded block
 	Final  bool  // whether the stream's final block was reached
+
+	buf []uint16 // pooled backing of Out (context prefix included)
+}
+
+// Release returns the decode buffer backing Out to the package pool.
+// Out (and any slice aliasing it) must not be used afterwards; Spans
+// remain valid. Calling Release twice, or on a Result that owns no
+// pooled buffer, is a no-op.
+func (r *Result) Release() {
+	putSymBuf(r.buf)
+	r.buf, r.Out = nil, nil
 }
 
 // DecodeOptions tunes DecodeFrom.
@@ -156,7 +218,8 @@ func DecodeFrom(data []byte, startBit int64, opts DecodeOptions) (*Result, error
 	if opts.RecordSpans {
 		sink.RecordSpans()
 	}
-	dec := flate.NewDecoder(flate.Options{})
+	dec := flate.GetDecoder(flate.Options{})
+	defer flate.PutDecoder(dec)
 
 	final := false
 	for {
@@ -165,6 +228,7 @@ func DecodeFrom(data []byte, startBit int64, opts DecodeOptions) (*Result, error
 			if errors.Is(err, flate.Stop) {
 				break
 			}
+			putSymBuf(sink.buf)
 			return nil, fmt.Errorf("tracked: decode at bit %d: %w", startBit, err)
 		}
 		if f {
@@ -172,7 +236,7 @@ func DecodeFrom(data []byte, startBit int64, opts DecodeOptions) (*Result, error
 			break
 		}
 	}
-	res := &Result{Out: sink.Out(), Spans: sink.Spans, Final: final}
+	res := &Result{Out: sink.Out(), Spans: sink.Spans, Final: final, buf: sink.buf}
 	switch {
 	case sink.StoppedAt >= 0:
 		// Halted at a successor's block start: the decoder had already
@@ -213,21 +277,36 @@ func Resolve(out []uint16, ctx []byte, dst []byte) ([]byte, error) {
 // output given that chunk's (resolved) initial context. This is the
 // cheap sequential step of pass 2: w_{i+1} = resolve(tail(D_i), w_i).
 // When the output is shorter than a window, the leading part of the
-// result comes from the tail of the context itself.
+// result comes from the tail of the context itself. The returned
+// window comes from the package pool; hand it back with PutWindow when
+// the propagation chain moves past it.
 func ResolveWindow(out []uint16, ctx []byte) ([]byte, error) {
-	if len(ctx) != WindowSize {
-		return nil, fmt.Errorf("tracked: context must be %d bytes, got %d", WindowSize, len(ctx))
+	w := windowPool.Get().([]byte)
+	if err := ResolveWindowInto(w, out, ctx); err != nil {
+		PutWindow(w)
+		return nil, err
 	}
-	w := make([]byte, WindowSize)
+	return w, nil
+}
+
+// ResolveWindowInto is ResolveWindow writing into a caller-provided
+// WindowSize buffer (every byte is overwritten).
+func ResolveWindowInto(w []byte, out []uint16, ctx []byte) error {
+	if len(ctx) != WindowSize {
+		return fmt.Errorf("tracked: context must be %d bytes, got %d", WindowSize, len(ctx))
+	}
+	if len(w) != WindowSize {
+		return fmt.Errorf("tracked: window buffer must be %d bytes, got %d", WindowSize, len(w))
+	}
 	n := len(out)
 	if n >= WindowSize {
 		_, err := resolveInto(w, out[n-WindowSize:], ctx)
-		return w, err
+		return err
 	}
 	// Short chunk: window = last (WindowSize-n) bytes of ctx ++ resolved out.
 	copy(w, ctx[n:])
 	_, err := resolveInto(w[WindowSize-n:], out, ctx)
-	return w, err
+	return err
 }
 
 func resolveInto(dst []byte, out []uint16, ctx []byte) ([]byte, error) {

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/fastq"
-	"repro/internal/gzipx"
 	"repro/internal/tracked"
 )
 
@@ -91,28 +90,63 @@ func (r *RandomAccessResult) UnambiguousAfterResolved() (frac float64, ok bool) 
 // resolved output (the paper's fqgz prototype: Sections IV, VI-A,
 // VI-B and Appendix X-B).
 func RandomAccess(gz []byte, fromByte int64, o RandomAccessOptions) (*RandomAccessResult, error) {
+	f, err := NewFileBytes(gz, FileOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return f.RandomAccessAt(fromByte, o)
+}
+
+// RandomAccessAt is RandomAccess over the File's byte source: the
+// paper's index-free access path, reading only the compressed extent
+// it decodes (plus geometric growth slack for non-slice sources)
+// rather than the whole file.
+func (f *File) RandomAccessAt(fromByte int64, o RandomAccessOptions) (*RandomAccessResult, error) {
 	if o.MinSeqLen == 0 {
 		o.MinSeqLen = fastq.DefaultMinLen
 	}
 	if o.ResolvedThreshold == 0 {
 		o.ResolvedThreshold = fastq.SequenceResolvedThreshold
 	}
-	m, err := gzipx.ParseHeader(gz)
+
+	// One window serves both halves of the access: the brute-force
+	// block sync and the undetermined-context decode that follows. Its
+	// initial extent is sized to the requested output (text compresses
+	// to no more than its own size) so a bounded read loads a bounded
+	// compressed extent; the decode grows it when it falls short.
+	from := fromByte
+	if from < f.hdrLen {
+		from = f.hdrLen
+	}
+	if from > f.size {
+		return nil, fmt.Errorf("pugz: random access at byte %d: %w", fromByte, ErrNotFound)
+	}
+	initial := int64(o.MaxOutput) + minWindowLoad
+	w, err := f.openWindow(from, initial)
 	if err != nil {
 		return nil, err
 	}
-	payload := gz[m.HeaderLen:]
-
-	bit, err := FindBlock(gz, fromByte)
+	relBit, err := findInWindow(w, 0)
 	if err != nil {
 		return nil, fmt.Errorf("pugz: random access at byte %d: %w", fromByte, err)
 	}
+	rebase := (w.base - f.hdrLen) * 8
+	bit := rebase + relBit
 
-	res, err := tracked.DecodeFrom(payload, bit, tracked.DecodeOptions{
-		MaxOutput:   o.MaxOutput,
-		RecordSpans: true,
-	})
-	if err != nil {
+	var res *tracked.Result
+	for {
+		res, err = tracked.DecodeFrom(w.data, relBit, tracked.DecodeOptions{
+			MaxOutput:   o.MaxOutput,
+			RecordSpans: true,
+		})
+		if err == nil {
+			break
+		}
+		if grown, gerr := w.grow(); gerr != nil {
+			return nil, gerr
+		} else if grown {
+			continue
+		}
 		return nil, err
 	}
 
@@ -122,10 +156,11 @@ func RandomAccess(gz []byte, fromByte int64, o RandomAccessOptions) (*RandomAcce
 		FirstResolvedBlock: -1,
 		DelayBytes:         -1,
 	}
+	res.Release()
 	for _, s := range res.Spans {
 		out.Blocks = append(out.Blocks, Block{
-			StartBit: s.Event.StartBit,
-			EndBit:   s.EndBit,
+			StartBit: rebase + s.Event.StartBit,
+			EndBit:   rebase + s.EndBit,
 			Type:     s.Event.Type.String(),
 			Final:    s.Event.Final,
 			OutStart: s.OutStart,

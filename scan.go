@@ -1,9 +1,12 @@
 package pugz
 
 import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitio"
 	"repro/internal/blockfind"
 	"repro/internal/flate"
-	"repro/internal/gzipx"
 )
 
 // Block describes one DEFLATE block of a gzip member.
@@ -27,28 +30,88 @@ type Block struct {
 // FindBlock to sync to a single block near an arbitrary offset without
 // decoding the prefix.
 func ScanBlocks(gz []byte) ([]Block, error) {
-	m, err := gzipx.ParseHeader(gz)
+	f, err := NewFileBytes(gz, FileOptions{})
 	if err != nil {
 		return nil, err
 	}
-	payload := gz[m.HeaderLen:]
-	_, spans, err := flate.DecompressRecorded(payload, 0, true)
-	if err != nil {
-		return nil, err
-	}
-	blocks := make([]Block, len(spans))
-	for i, s := range spans {
-		blocks[i] = Block{
-			StartBit: s.Event.StartBit,
-			EndBit:   s.EndBit,
-			Type:     s.Event.Type.String(),
-			Final:    s.Event.Final,
-			OutStart: s.OutStart,
-			OutEnd:   s.OutEnd,
-		}
-	}
-	return blocks, nil
+	return f.ScanBlocks()
 }
+
+// ScanBlocks walks the first member block by block over the File's
+// byte source, without materialising the decompressed output: token
+// extents are tallied, back-references are bounds-checked against the
+// produced count, and for non-slice sources the compressed window
+// slides forward as blocks complete, so memory stays bounded by the
+// largest single block.
+func (f *File) ScanBlocks() ([]Block, error) {
+	w, err := f.openWindow(f.hdrLen, minWindowLoad)
+	if err != nil {
+		return nil, err
+	}
+	var blocks []Block
+	var outPos int64
+	bit := int64(0) // payload-relative decode position
+	for {
+		relBit := bit - (w.base-f.hdrLen)*8
+		sink := &scanSink{outBase: outPos}
+		r, err := bitio.NewReaderAt(w.data, relBit)
+		if err != nil {
+			return nil, err
+		}
+		dec := flate.GetDecoder(flate.Options{})
+		final, err := dec.DecodeBlock(r, sink)
+		flate.PutDecoder(dec)
+		if err != nil {
+			// A failed decode on a partial window is retried with more
+			// data resident; at EOF the failure is real.
+			if grown, gerr := w.grow(); gerr != nil {
+				return nil, gerr
+			} else if grown {
+				continue
+			}
+			return nil, fmt.Errorf("pugz: scan at payload bit %d: %w", bit, err)
+		}
+		endBit := (w.base-f.hdrLen)*8 + sink.endBit
+		blocks = append(blocks, Block{
+			StartBit: bit,
+			EndBit:   endBit,
+			Type:     sink.ev.Type.String(),
+			Final:    sink.ev.Final,
+			OutStart: outPos,
+			OutEnd:   outPos + sink.bytes,
+		})
+		outPos += sink.bytes
+		bit = endBit
+		if final {
+			return blocks, nil
+		}
+		// Completed blocks are never re-read: slide the window forward
+		// so residency stays bounded for long walks.
+		w.discardTo(f.hdrLen + bit/8)
+	}
+}
+
+// scanSink records one block's boundary and output extent without
+// materialising bytes. Back-references are validated against the
+// absolute produced count, which is what keeps the scan as strict as a
+// real decode (a reference before the stream start is corrupt input).
+type scanSink struct {
+	outBase int64 // decompressed offset at block start
+	bytes   int64 // produced within this block
+	ev      flate.BlockEvent
+	endBit  int64
+}
+
+func (s *scanSink) BlockStart(ev flate.BlockEvent) error { s.ev = ev; return nil }
+func (s *scanSink) Literal(byte) error                   { s.bytes++; return nil }
+func (s *scanSink) Match(length, dist int) error {
+	if int64(dist) > s.outBase+s.bytes {
+		return flate.ErrDanglingRef
+	}
+	s.bytes += int64(length)
+	return nil
+}
+func (s *scanSink) BlockEnd(nextBit int64) error { s.endBit = nextBit; return nil }
 
 // FindBlock locates the first confirmed DEFLATE block start at or
 // after the given byte offset into the compressed file, by brute-force
@@ -59,18 +122,73 @@ func ScanBlocks(gz []byte) ([]Block, error) {
 // end of the file (in particular, the final block of a stream is never
 // a valid target).
 func FindBlock(gz []byte, fromByte int64) (int64, error) {
-	m, err := gzipx.ParseHeader(gz)
+	f, err := NewFileBytes(gz, FileOptions{})
 	if err != nil {
 		return 0, err
 	}
-	payload := gz[m.HeaderLen:]
-	from := fromByte - int64(m.HeaderLen)
-	if from < 0 {
-		from = 0
-	}
-	f := blockfind.New()
-	return f.Next(payload, from*8)
+	return f.FindBlockAt(fromByte)
 }
+
+// FindBlockAt is FindBlock over the File's byte source. For non-slice
+// sources the scan runs over an on-demand window that grows until a
+// confirmed start is found (with headroom so its confirmation blocks
+// are resident) or the source is exhausted.
+func (f *File) FindBlockAt(fromByte int64) (int64, error) {
+	from := fromByte
+	if from < f.hdrLen {
+		from = f.hdrLen
+	}
+	if from > f.size {
+		return 0, ErrNotFound
+	}
+	w, err := f.openWindow(from, minWindowLoad)
+	if err != nil {
+		return 0, err
+	}
+	bit, err := findInWindow(w, 0)
+	if err != nil {
+		return 0, err
+	}
+	return (w.base-f.hdrLen)*8 + bit, nil
+}
+
+// findInWindow locates a confirmed block start at or after
+// window-relative bit fromBit, growing the window as needed. The
+// returned bit offset is window-relative.
+func findInWindow(w *srcWindow, fromBit int64) (int64, error) {
+	for {
+		finder := blockfind.New()
+		bit, err := finder.Next(w.data, fromBit)
+		switch {
+		case err == nil:
+			// A start confirmed close to the edge of a partial window
+			// may have had its confirmation blocks cut short; re-run
+			// with more data resident before trusting it.
+			if !w.atEOF && int64(len(w.data))-bit/8 < confirmSlack {
+				if grown, gerr := w.grow(); gerr != nil {
+					return 0, gerr
+				} else if grown {
+					continue
+				}
+			}
+			return bit, nil
+		case errors.Is(err, blockfind.ErrNotFound):
+			if grown, gerr := w.grow(); gerr != nil {
+				return 0, gerr
+			} else if grown {
+				continue
+			}
+			return 0, ErrNotFound
+		default:
+			return 0, err
+		}
+	}
+}
+
+// confirmSlack is how much resident data must follow a candidate block
+// start found in a partial window before it is accepted without
+// growing the window (enough for the confirmation decodes).
+const confirmSlack = 256 << 10
 
 // ErrNotFound re-exports the block scanner's miss condition.
 var ErrNotFound = blockfind.ErrNotFound

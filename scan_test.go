@@ -1,0 +1,159 @@
+package pugz_test
+
+import (
+	"errors"
+	"testing"
+
+	pugz "repro"
+	"repro/internal/fastq"
+)
+
+func scanFixture(t *testing.T, level int) (data, gz []byte) {
+	t.Helper()
+	data = fastq.Generate(fastq.GenOptions{Reads: 6000, Seed: 17})
+	gz, err := pugz.Compress(data, level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, gz
+}
+
+// TestScanBlocksExtents checks the structural invariants of a block
+// scan: blocks tile both the compressed bit space and the decompressed
+// byte space with no gaps, only the last block is final, and every
+// type is one of the three DEFLATE kinds.
+func TestScanBlocksExtents(t *testing.T) {
+	for _, level := range []int{0, 1, 6, 9} {
+		data, gz := scanFixture(t, level)
+		blocks, err := pugz.ScanBlocks(gz)
+		if err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		if len(blocks) == 0 {
+			t.Fatalf("level %d: no blocks", level)
+		}
+		if blocks[0].StartBit != 0 {
+			t.Fatalf("level %d: first block starts at bit %d", level, blocks[0].StartBit)
+		}
+		if blocks[0].OutStart != 0 {
+			t.Fatalf("level %d: first block output starts at %d", level, blocks[0].OutStart)
+		}
+		for i, b := range blocks {
+			switch b.Type {
+			case "stored", "fixed", "dynamic":
+			default:
+				t.Fatalf("level %d block %d: bad type %q", level, i, b.Type)
+			}
+			if b.EndBit <= b.StartBit {
+				t.Fatalf("level %d block %d: empty bit extent [%d,%d)", level, i, b.StartBit, b.EndBit)
+			}
+			if b.Final != (i == len(blocks)-1) {
+				t.Fatalf("level %d block %d/%d: Final=%v", level, i, len(blocks), b.Final)
+			}
+			if i > 0 {
+				if b.StartBit != blocks[i-1].EndBit {
+					t.Fatalf("level %d block %d: bit gap %d -> %d", level, i, blocks[i-1].EndBit, b.StartBit)
+				}
+				if b.OutStart != blocks[i-1].OutEnd {
+					t.Fatalf("level %d block %d: output gap %d -> %d", level, i, blocks[i-1].OutEnd, b.OutStart)
+				}
+			}
+		}
+		if last := blocks[len(blocks)-1]; last.OutEnd != int64(len(data)) {
+			t.Fatalf("level %d: blocks cover %d output bytes, want %d", level, last.OutEnd, len(data))
+		}
+		if level == 0 {
+			for i, b := range blocks {
+				if b.Type != "stored" {
+					t.Fatalf("level 0 block %d: type %q", i, b.Type)
+				}
+			}
+		}
+	}
+}
+
+// TestScanBlocksReaderAtSource checks that a scan through a windowed
+// (non-slice) byte source returns the identical block list.
+func TestScanBlocksReaderAtSource(t *testing.T) {
+	_, gz := scanFixture(t, 6)
+	want, err := pugz.ScanBlocks(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := pugz.NewFile(&trackingReaderAt{data: gz}, int64(len(gz)), pugz.FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := f.ScanBlocks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d blocks vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("block %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFindBlockBoundaries probes FindBlock at the edges: offset zero,
+// a member boundary in a multi-member file, and offsets at or past the
+// end of the compressed file.
+func TestFindBlockBoundaries(t *testing.T) {
+	_, gzA := scanFixture(t, 6)
+	dataB := fastq.Generate(fastq.GenOptions{Reads: 6000, Seed: 18})
+	gzB, err := pugz.Compress(dataB, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz := append(append([]byte{}, gzA...), gzB...)
+
+	blocks, err := pugz.ScanBlocks(gz) // first member only
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundary := map[int64]bool{}
+	for _, b := range blocks {
+		boundary[b.StartBit] = true
+	}
+
+	// From offset 0 the finder must confirm an actual block start of
+	// the first member (never bit 0 itself: the scan skips the final
+	// block's ambiguity by requiring confirmations, but bit 0 is a
+	// valid confirmed start).
+	bit, err := pugz.FindBlock(gz, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !boundary[bit] {
+		t.Fatalf("FindBlock(0) = bit %d, not a block boundary of the first member", bit)
+	}
+
+	// Near the member boundary the finder syncs into the second member
+	// (payload bits keep counting across the trailer/header bytes).
+	memberEnd := int64(len(gzA))
+	bit2, err := pugz.FindBlock(gz, memberEnd-64)
+	if err != nil {
+		t.Fatalf("FindBlock near member boundary: %v", err)
+	}
+	if bit2 <= blocks[len(blocks)-1].StartBit {
+		t.Fatalf("FindBlock(%d) = bit %d, expected a start past the first member's final block",
+			memberEnd-64, bit2)
+	}
+
+	// At and past the end of the file: ErrNotFound, not a crash.
+	for _, off := range []int64{int64(len(gz)), int64(len(gz)) + 1000} {
+		if _, err := pugz.FindBlock(gz, off); !errors.Is(err, pugz.ErrNotFound) {
+			t.Fatalf("FindBlock(%d): err = %v, want ErrNotFound", off, err)
+		}
+	}
+
+	// The last few bytes of the stream hold only the final block (and
+	// the trailer), which is never a confirmable target.
+	if _, err := pugz.FindBlock(gz, int64(len(gz))-4); !errors.Is(err, pugz.ErrNotFound) {
+		t.Fatalf("FindBlock near EOF: err = %v, want ErrNotFound", err)
+	}
+}

@@ -3,7 +3,8 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci vet build test race fuzz-smoke bench bench-smoke clean
+.PHONY: ci vet build test race race-internal race-diff race-rest race-cmd \
+	fuzz-smoke bench bench-smoke benchdiff clean
 
 ci: vet build race fuzz-smoke
 
@@ -16,8 +17,30 @@ build:
 test:
 	$(GO) test ./...
 
-race:
-	$(GO) test -race ./...
+# The -race suite runs as separate package groups with explicit
+# timeouts (mirrored by CI), so one slow group cannot mask which area
+# regressed and a local reproduction can target just the group that
+# failed — essential on small boxes where the monolithic run crawls.
+RACETIMEOUT ?= 15m
+# Root-package split: the differential/roundtrip suite vs the
+# streaming/file/index surfaces. The two patterns are complements by
+# construction (-run vs -skip on the same expression), so every root
+# test runs under -race in exactly one group.
+DIFFPAT := ^(TestDifferential|TestDecompress|TestCorrupt|TestFullCircle|TestCompress|TestClassify|TestPublic|TestExperiments)
+
+race: race-internal race-diff race-rest race-cmd
+
+race-internal:
+	$(GO) test -race -timeout $(RACETIMEOUT) ./internal/...
+
+race-diff:
+	$(GO) test -race -timeout $(RACETIMEOUT) -run '$(DIFFPAT)' .
+
+race-rest:
+	$(GO) test -race -timeout $(RACETIMEOUT) -skip '$(DIFFPAT)' .
+
+race-cmd:
+	$(GO) test -race -timeout $(RACETIMEOUT) ./cmd/...
 
 # Short-iteration fuzz smoke over both differential targets: enough to
 # replay the checked-in corpus plus a burst of fresh mutations.
@@ -26,10 +49,14 @@ fuzz-smoke:
 	$(GO) test . -run '^$$' -fuzz FuzzNewReader -fuzztime $(FUZZTIME)
 
 # Full benchmark sweep with allocation accounting, captured as test2json
-# event lines for the perf trajectory (BENCH_PR2.json, ...); BENCHTIME
-# can be raised for stable numbers on quiet hardware.
+# event lines for the perf trajectory (BENCH_PR2.json, BENCH_PR4.json,
+# ...). Set PR to this PR's number when capturing a new checkpoint —
+# `make bench PR=5` writes BENCH_PR5.json — and commit the file;
+# `make benchdiff` (and CI) compares the two most recent captures.
+# BENCHTIME can be raised for stable numbers on quiet hardware.
+PR ?= 4
 BENCHTIME ?= 1x
-BENCHOUT ?= BENCH_PR2.json
+BENCHOUT ?= BENCH_PR$(PR).json
 bench:
 	$(GO) test -json -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . > $(BENCHOUT)
 	@grep -o '"Output":"Benchmark[^"]*"' $(BENCHOUT) | sed 's/"Output":"//;s/"$$//;s/\\t/\t/g;s/\\n//' || true
@@ -38,6 +65,12 @@ bench:
 # to catch bit-rotted benchmark code without paying for real timings.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Perf-trajectory gate: diff the two most recent BENCH_PRn.json
+# captures; >30% ns/op or allocs/op regressions on the gated hot-path
+# benchmarks fail, everything else warns (see cmd/benchdiff).
+benchdiff:
+	$(GO) run ./cmd/benchdiff -auto .
 
 clean:
 	rm -rf .tmp

@@ -1,6 +1,9 @@
 package pugz
 
 import (
+	"bytes"
+	"runtime"
+
 	"repro/internal/bgzf"
 	"repro/internal/guess"
 	"repro/internal/gzindex"
@@ -27,17 +30,15 @@ type Index struct {
 }
 
 // BuildIndex decompresses the first member of gz once, checkpointing
-// the decoder state every spacing output bytes (0 selects 1 MiB).
+// the decoder state every spacing output bytes (0 selects 1 MiB). It is
+// the whole-file framing of the streaming construction path: the decode
+// runs through the parallel pipeline (NewIndexFromReader), and the
+// result is byte-identical to the sequential zran build regardless of
+// thread count.
 func BuildIndex(gz []byte, spacing int64) (*Index, error) {
-	m, err := gzipx.ParseHeader(gz)
-	if err != nil {
-		return nil, err
-	}
-	inner, err := gzindex.Build(gz[m.HeaderLen:], spacing)
-	if err != nil {
-		return nil, err
-	}
-	return &Index{inner: inner, payloadOff: int64(m.HeaderLen)}, nil
+	return NewIndexFromReader(bytes.NewReader(gz), spacing, StreamOptions{
+		Threads: runtime.GOMAXPROCS(0),
+	})
 }
 
 // Size returns the decompressed size the index covers.

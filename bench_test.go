@@ -367,6 +367,79 @@ func BenchmarkFileReadAt(b *testing.B) {
 	}
 }
 
+// BenchmarkFileDeepSeek measures one deep unindexed positional read —
+// the worst case for a seekable File, since the whole prefix must be
+// decoded. "twopass" is the parallel translation-free skip (a fresh
+// File each iteration, so no auto-index survives between reads);
+// "discard" replays the pre-skip cursor: a streaming reader whose
+// prefix is translated and thrown away byte by byte.
+func BenchmarkFileDeepSeek(b *testing.B) {
+	loadFixtures(b)
+	var usize int64
+	{
+		f, err := pugz.NewFileBytes(fixGz, pugz.FileOptions{Threads: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if usize, err = f.Size(); err != nil {
+			b.Fatal(err)
+		}
+		f.Close()
+	}
+	off := usize * 9 / 10
+	buf := make([]byte, 64<<10)
+
+	b.Run("twopass", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(fixGz)))
+		for i := 0; i < b.N; i++ {
+			f, err := pugz.NewFileBytes(fixGz, pugz.FileOptions{Threads: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := f.ReadAt(buf, off); err != nil && err != io.EOF {
+				b.Fatal(err)
+			}
+			f.Close()
+		}
+	})
+	b.Run("discard", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(fixGz)))
+		for i := 0; i < b.N; i++ {
+			r, err := pugz.NewReaderBytes(fixGz, pugz.StreamOptions{Threads: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := io.CopyN(io.Discard, r, off); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := io.ReadFull(r, buf); err != nil {
+				b.Fatal(err)
+			}
+			r.Close()
+		}
+	})
+}
+
+// BenchmarkBuildIndex measures streaming checkpoint-index construction
+// (one parallel pass, output discarded batch by batch).
+func BenchmarkBuildIndex(b *testing.B) {
+	loadFixtures(b)
+	for _, th := range []int{1, 4} {
+		b.Run(benchName(th), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(fixGz)))
+			for i := 0; i < b.N; i++ {
+				if _, err := pugz.NewIndexFromReader(bytes.NewReader(fixGz), 1<<20,
+					pugz.StreamOptions{Threads: th}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkGuesser measures the undetermined-character guesser on
 // masked FASTQ text.
 func BenchmarkGuesser(b *testing.B) {

@@ -1,0 +1,148 @@
+// Command benchdiff compares two benchmark captures produced by
+// `make bench` (test2json event streams holding `go test -bench`
+// output) and enforces the repository's performance trajectory: each
+// perf-relevant PR checks in a BENCH_PRn.json, and CI diffs the two
+// most recent captures, failing on a >30% ns/op or allocs/op
+// regression on the gated hot-path benchmarks and warning on the rest
+// (runner timings are noisy; allocation counts are not).
+//
+//	benchdiff OLD.json NEW.json          # explicit pair
+//	benchdiff -auto .                    # two highest BENCH_PRn.json in a directory
+//	benchdiff -gate 'Pugz32|Streaming' -max-regress 25 OLD NEW
+//
+// Exit status: 0 when every gated benchmark stays within the budget,
+// 1 on a gated regression, 2 on usage or parse errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// defaultGate names the hot-path benchmarks whose regressions fail CI:
+// the headline whole-file decompression, the bounded-memory streaming
+// reader, the seekable-File read paths, and the pass-2 translation
+// kernel. Everything else is warn-only.
+const defaultGate = `^Benchmark(Table2Pugz32|StreamingReader|FileReadAt|FileDeepSeek|Pass2Translate|BuildIndex)`
+
+func main() {
+	gate := flag.String("gate", defaultGate, "regexp of benchmark names whose regressions fail (others warn)")
+	maxRegress := flag.Float64("max-regress", 30, "max tolerated ns/op and allocs/op increase on gated benchmarks, percent")
+	auto := flag.String("auto", "", "directory: compare the two highest-numbered BENCH_PRn.json files in it")
+	flag.Parse()
+
+	var oldPath, newPath string
+	switch {
+	case *auto != "":
+		var err error
+		oldPath, newPath, err = latestPair(*auto)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	case flag.NArg() == 2:
+		oldPath, newPath = flag.Arg(0), flag.Arg(1)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-gate RE] [-max-regress PCT] OLD.json NEW.json")
+		fmt.Fprintln(os.Stderr, "       benchdiff [-gate RE] [-max-regress PCT] -auto DIR")
+		os.Exit(2)
+	}
+	gateRE, err := regexp.Compile(*gate)
+	if err != nil {
+		fatalf("bad -gate: %v", err)
+	}
+
+	oldSet, err := parseFile(oldPath)
+	if err != nil {
+		fatalf("%s: %v", oldPath, err)
+	}
+	newSet, err := parseFile(newPath)
+	if err != nil {
+		fatalf("%s: %v", newPath, err)
+	}
+	if len(oldSet) == 0 || len(newSet) == 0 {
+		fatalf("no benchmark results parsed (%d old, %d new)", len(oldSet), len(newSet))
+	}
+
+	fmt.Printf("benchdiff: %s -> %s (gate %q, budget %.0f%%)\n", oldPath, newPath, *gate, *maxRegress)
+	names := make([]string, 0, len(newSet))
+	for name := range newSet {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := 0
+	for _, name := range names {
+		n := newSet[name]
+		o, ok := oldSet[name]
+		if !ok {
+			fmt.Printf("  new      %-60s %s\n", name, n)
+			continue
+		}
+		gated := gateRE.MatchString(name)
+		for _, d := range diff(o, n) {
+			over := d.pct > *maxRegress
+			tag := "ok"
+			switch {
+			case over && gated:
+				tag = "FAIL"
+				failed++
+			case over:
+				tag = "warn"
+			}
+			fmt.Printf("  %-8s %-60s %-9s %s -> %s (%+.1f%%)\n",
+				tag, name, d.metric, fmtVal(d.metric, d.old), fmtVal(d.metric, d.new), d.pct)
+		}
+	}
+	for name := range oldSet {
+		if _, ok := newSet[name]; !ok {
+			fmt.Printf("  gone     %s\n", name)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("benchdiff: %d gated regression(s) beyond %.0f%%\n", failed, *maxRegress)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: pass")
+}
+
+// latestPair picks the two highest-numbered BENCH_PRn.json in dir.
+func latestPair(dir string) (oldPath, newPath string, err error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_PR*.json"))
+	if err != nil {
+		return "", "", err
+	}
+	type capture struct {
+		pr   int
+		path string
+	}
+	var caps []capture
+	re := regexp.MustCompile(`BENCH_PR(\d+)\.json$`)
+	for _, m := range matches {
+		if g := re.FindStringSubmatch(m); g != nil {
+			pr, _ := strconv.Atoi(g[1])
+			caps = append(caps, capture{pr, m})
+		}
+	}
+	if len(caps) < 2 {
+		return "", "", fmt.Errorf("need two BENCH_PRn.json captures in %s, found %d", dir, len(caps))
+	}
+	sort.Slice(caps, func(i, j int) bool { return caps[i].pr < caps[j].pr })
+	return caps[len(caps)-2].path, caps[len(caps)-1].path, nil
+}
+
+func fmtVal(metric string, v float64) string {
+	if metric == "allocs/op" || metric == "B/op" {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's metrics. Repeated runs of the same
+// benchmark keep the best (minimum) value per metric, the conventional
+// way to damp scheduler noise.
+type result map[string]float64 // metric name ("ns/op", ...) -> value
+
+func (r result) String() string {
+	parts := make([]string, 0, len(r))
+	for _, m := range []string{"ns/op", "MB/s", "B/op", "allocs/op"} {
+		if v, ok := r[m]; ok {
+			parts = append(parts, fmt.Sprintf("%g %s", v, m))
+		}
+	}
+	return strings.Join(parts, "  ")
+}
+
+// regressionMetrics are the per-metric directions that count as
+// regressions when they increase.
+var regressionMetrics = []string{"ns/op", "allocs/op"}
+
+type delta struct {
+	metric   string
+	old, new float64
+	pct      float64 // increase in percent (positive = regression)
+}
+
+// diff returns the regression-relevant metric movements old -> new.
+func diff(o, n result) []delta {
+	var ds []delta
+	for _, m := range regressionMetrics {
+		ov, ok1 := o[m]
+		nv, ok2 := n[m]
+		if !ok1 || !ok2 {
+			continue
+		}
+		pct := 0.0
+		switch {
+		case ov > 0:
+			pct = (nv - ov) / ov * 100
+		case nv > 0:
+			pct = 100 // from zero to non-zero
+		}
+		ds = append(ds, delta{metric: m, old: ov, new: nv, pct: pct})
+	}
+	return ds
+}
+
+// event is the subset of a test2json line benchdiff needs.
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// procSuffix strips the trailing -GOMAXPROCS from a benchmark name so
+// captures from hosts with different core counts stay comparable.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseFile reads a test2json capture and returns the benchmark
+// results keyed by name (GOMAXPROCS suffix stripped). A benchmark
+// result is printed as `name \t` and `N \t metrics...\n` in separate
+// output events, so the events' text is reassembled into lines (per
+// package) before parsing.
+func parseFile(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]result{}
+	merge := func(text string) {
+		name, res, ok := parseBenchLine(text)
+		if !ok {
+			return
+		}
+		prev, seen := out[name]
+		if !seen {
+			out[name] = res
+			return
+		}
+		for m, v := range res {
+			if old, ok := prev[m]; !ok || v < old {
+				prev[m] = v
+			}
+		}
+	}
+	partial := map[string]string{} // per-package unterminated output text
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 || line[0] != '{' {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			continue // tolerate non-JSON noise in the capture
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		text := partial[ev.Package] + ev.Output
+		for {
+			nl := strings.IndexByte(text, '\n')
+			if nl < 0 {
+				break
+			}
+			merge(text[:nl])
+			text = text[nl+1:]
+		}
+		partial[ev.Package] = text
+	}
+	for _, text := range partial {
+		merge(text)
+	}
+	return out, sc.Err()
+}
+
+// parseBenchLine parses one `go test -bench` result line:
+//
+//	BenchmarkName-8   	     100	  12345 ns/op	  67 MB/s	 89 B/op	  1 allocs/op
+//
+// The iteration count field is skipped; every later "value unit" pair
+// becomes a metric.
+func parseBenchLine(line string) (string, result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", nil, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", nil, false
+	}
+	if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return "", nil, false // e.g. a "BenchmarkX" run-start line
+	}
+	name := procSuffix.ReplaceAllString(fields[0], "")
+	res := result{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		res[fields[i+1]] = v
+	}
+	if len(res) == 0 {
+		return "", nil, false
+	}
+	return name, res, true
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	name, res, ok := parseBenchLine("BenchmarkTable2Pugz32-8   \t       5\t 226622895 ns/op\t  17.78 MB/s\t25166018 B/op\t    1953 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if name != "BenchmarkTable2Pugz32" {
+		t.Fatalf("name = %q", name)
+	}
+	for m, want := range map[string]float64{
+		"ns/op": 226622895, "MB/s": 17.78, "B/op": 25166018, "allocs/op": 1953,
+	} {
+		if res[m] != want {
+			t.Fatalf("%s = %g, want %g", m, res[m], want)
+		}
+	}
+
+	// Sub-benchmarks keep their slash path.
+	name, _, ok = parseBenchLine("BenchmarkFig5Threads/threads=4-16 \t 3\t 1000 ns/op")
+	if !ok || name != "BenchmarkFig5Threads/threads=4" {
+		t.Fatalf("sub-benchmark: ok=%v name=%q", ok, name)
+	}
+
+	// Non-result lines are ignored.
+	for _, bad := range []string{
+		"BenchmarkTable2Pugz32",      // run-start echo, no fields
+		"goos: linux",                // preamble
+		"BenchmarkX-8 \t notanumber", // malformed
+	} {
+		if _, _, ok := parseBenchLine(bad); ok {
+			t.Fatalf("parsed %q", bad)
+		}
+	}
+}
+
+func TestParseFileAndDiff(t *testing.T) {
+	dir := t.TempDir()
+	oldCap := `{"Action":"output","Output":"goos: linux\n"}
+{"Action":"output","Output":"BenchmarkA-2 \t10\t1000 ns/op\t100 B/op\t5 allocs/op\n"}
+{"Action":"output","Output":"BenchmarkA-2 \t10\t1200 ns/op\t100 B/op\t5 allocs/op\n"}
+{"Action":"run","Test":"BenchmarkB"}
+{"Action":"output","Output":"BenchmarkB-2 \t10\t2000 ns/op\t10 allocs/op\n"}
+`
+	newCap := `{"Action":"output","Output":"BenchmarkA-8 \t10\t1100 ns/op\t100 B/op\t5 allocs/op\n"}
+{"Action":"output","Output":"BenchmarkB-8 \t10\t2100 ns/op\t20 allocs/op\n"}
+`
+	oldPath := filepath.Join(dir, "BENCH_PR2.json")
+	newPath := filepath.Join(dir, "BENCH_PR4.json")
+	if err := os.WriteFile(oldPath, []byte(oldCap), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(newCap), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	oldSet, err := parseFile(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate runs keep the min; the -2 suffix is stripped.
+	if oldSet["BenchmarkA"]["ns/op"] != 1000 {
+		t.Fatalf("min-merge: ns/op = %g", oldSet["BenchmarkA"]["ns/op"])
+	}
+	newSet, err := parseFile(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ds := diff(oldSet["BenchmarkA"], newSet["BenchmarkA"])
+	if len(ds) != 2 {
+		t.Fatalf("diff metrics = %d", len(ds))
+	}
+	for _, d := range ds {
+		switch d.metric {
+		case "ns/op":
+			if d.pct < 9.9 || d.pct > 10.1 {
+				t.Fatalf("ns/op delta = %g%%", d.pct)
+			}
+		case "allocs/op":
+			if d.pct != 0 {
+				t.Fatalf("allocs delta = %g%%", d.pct)
+			}
+		}
+	}
+	// B doubles its allocs: a 100% regression must be visible.
+	found := false
+	for _, d := range diff(oldSet["BenchmarkB"], newSet["BenchmarkB"]) {
+		if d.metric == "allocs/op" && d.pct == 100 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("allocs/op regression not reported")
+	}
+
+	// latestPair picks PR2 -> PR4.
+	o, n, err := latestPair(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != oldPath || n != newPath {
+		t.Fatalf("latestPair = %s, %s", o, n)
+	}
+}

@@ -47,6 +47,7 @@ func main() {
 	length := flag.Int64("length", 0, "with -offset: number of decompressed bytes to extract (0 = to end)")
 	indexPath := flag.String("index", "", "sidecar checkpoint index (from -mkindex) accelerating -offset extraction")
 	mkindex := flag.String("mkindex", "", "build a checkpoint index of the input and write it to this path, then exit")
+	spacing := flag.Int64("spacing", 0, "with -mkindex: checkpoint spacing in decompressed bytes (default 1 MiB)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -58,7 +59,7 @@ func main() {
 	in := flag.Arg(0)
 
 	if *mkindex != "" {
-		runMkindex(in, *mkindex)
+		runMkindex(in, *mkindex, *spacing, *threads, *batch, *maxWindow)
 		return
 	}
 	if *offset != "" {
@@ -186,17 +187,22 @@ func runRange(in, offsetSpec string, length int64, indexPath string, threads int
 
 // runMkindex builds the zran-style checkpoint index of the input and
 // writes its serialised form next to the data, for later -index runs.
-func runMkindex(in, out string) {
+// The input streams through the parallel pipeline — nothing is slurped,
+// so peak memory is bounded by the batch size, not the file size, and
+// pipes work:
+//
+//	zcat-producing-process | pugz -mkindex big.gzx -
+func runMkindex(in, out string, spacing int64, threads, batch, maxWindow int) {
 	src, closeSrc, err := cliutil.OpenInput(in)
 	if err != nil {
 		fatal(err)
 	}
 	defer closeSrc()
-	gz, err := io.ReadAll(src)
-	if err != nil {
-		fatal(err)
-	}
-	ix, err := pugz.BuildIndex(gz, 0)
+	ix, err := pugz.NewIndexFromReader(src, spacing, pugz.StreamOptions{
+		Threads:              threads,
+		BatchCompressedBytes: batch,
+		MaxWindowBytes:       maxWindow,
+	})
 	if err != nil {
 		fatal(err)
 	}

@@ -30,12 +30,17 @@ func main() {
 	defer f.Close()
 
 	// Positional read at a decompressed offset: exact gunzip bytes.
+	// A deep unindexed seek like this runs as a parallel two-pass skip
+	// (nothing before the target is translated or materialised), and
+	// the restart points it discovers are retained, so a second deep
+	// seek resumes near its target instead of re-decoding the file.
 	p := make([]byte, 80)
 	off := int64(len(data) / 2)
 	if _, err := f.ReadAt(p, off); err != nil && err != io.EOF {
 		log.Fatal(err)
 	}
-	fmt.Printf("ReadAt(%d) without index: %q\n", off, p[:40])
+	fmt.Printf("ReadAt(%d) without index: %q (%d restart points retained)\n",
+		off, p[:40], f.Checkpoints())
 
 	// io.ReadSeeker over the decompressed stream.
 	if _, err := f.Seek(-200, io.SeekEnd); err != nil {
@@ -47,10 +52,12 @@ func main() {
 	}
 	fmt.Printf("last 200 decompressed bytes end with: %q\n", tail[len(tail)-20:])
 
-	// With a checkpoint index (one prior sequential pass), ReadAt
-	// inflates only from the nearest checkpoint — the zran baseline
-	// the paper compares against.
-	ix, err := pugz.BuildIndex(gz, 1<<20)
+	// With a checkpoint index, ReadAt inflates only from the nearest
+	// checkpoint — the zran baseline the paper compares against.
+	// BuildIndex streams over the File's own source in one parallel
+	// bounded-memory pass and attaches the result; Marshal produces the
+	// side-car blob a later process would load with SetIndex.
+	ix, err := f.BuildIndex(1 << 20)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,13 +65,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := f.SetIndex(blob); err != nil {
-		log.Fatal(err)
-	}
 	if _, err := f.ReadAt(p, off); err != nil && err != io.EOF {
 		log.Fatal(err)
 	}
-	fmt.Printf("ReadAt(%d) with %d-checkpoint index: %q\n", off, ix.Checkpoints(), p[:40])
+	fmt.Printf("ReadAt(%d) with %d-checkpoint index (%d-byte side-car): %q\n",
+		off, ix.Checkpoints(), len(blob), p[:40])
 
 	// The paper's index-free path on the same File: sync to a block
 	// near a *compressed* offset and decode with an undetermined

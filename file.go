@@ -6,8 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"sort"
 	"sync"
 
+	"repro/internal/core"
+	"repro/internal/gzindex"
 	"repro/internal/gzipx"
 )
 
@@ -26,6 +30,13 @@ type FileOptions struct {
 	// scan from the start. It must have been built (or loaded) for this
 	// same gzip file.
 	Index *Index
+	// AutoIndexSpacing tunes the restart points a File retains as a
+	// side-channel of its own reads: deep unindexed seeks harvest
+	// checkpoints (32 KiB of memory each) at least this many output
+	// bytes apart, so repeated deep seeks into the same File stop
+	// re-decoding from the start. 0 selects 1 MiB; negative disables
+	// auto-indexing.
+	AutoIndexSpacing int64
 }
 
 // File provides random access to decompressed content over any
@@ -62,14 +73,32 @@ type File struct {
 	cur   *fileCursor
 	pos   int64 // Read/Seek cursor (decompressed)
 	usize int64 // cached decompressed size, -1 = not yet known
+
+	// Auto-index: restart points within the first member, harvested as
+	// a side-channel of deep seeks (and Size passes) and consulted when
+	// a cursor must be (re)opened. Guarded by its own lock because the
+	// pipeline worker inserts while a read is in flight under mu.
+	cpMu sync.Mutex
+	cps  []fileCheckpoint // sorted by out
+}
+
+// fileCheckpoint is one retained restart point of the first member.
+type fileCheckpoint struct {
+	bit int64  // block-boundary bit offset within the member's payload
+	out int64  // decompressed offset at the boundary
+	win []byte // resolved 32 KiB preceding it (immutable once stored)
 }
 
 // fileCursor is the forward-scan state for unindexed reads: a
 // streaming Reader over the compressed file plus the decompressed
-// offset it has reached.
+// offset it has reached. skipPending marks a cursor opened with a
+// pipeline-level skip whose target has not been confirmed reachable
+// yet: until the first byte arrives, pos is presumptive (the stream
+// may end before it), so it must not be trusted as a size measurement.
 type fileCursor struct {
-	r   *Reader
-	pos int64
+	r           *Reader
+	pos         int64
+	skipPending bool
 }
 
 // NewFile opens a gzip file over an arbitrary io.ReaderAt of the given
@@ -147,11 +176,20 @@ func (f *File) readAtLocked(p []byte, off int64) (int, error) {
 	return f.readAtCursor(p, off)
 }
 
+// cursorReopenGap is how far ahead of the live cursor a target may lie
+// before continuing the translate-and-discard scan loses to reopening
+// the cursor with a pipeline-level skip: a reopened cursor restarts
+// from the nearest retained checkpoint and covers the gap without
+// pass-2 translation (the parallel two-pass skip).
+const cursorReopenGap = 4 << 20
+
 // readAtCursor serves a positional read by scanning forward on the
-// shared cursor (f.mu held).
+// shared cursor (f.mu held). Targets behind the cursor or far ahead of
+// it reopen the cursor at the best restart point; small forward gaps
+// are discarded in-line, which keeps ascending reads on one pass.
 func (f *File) readAtCursor(p []byte, off int64) (int, error) {
-	if f.cur == nil || off < f.cur.pos {
-		if err := f.resetCursor(); err != nil {
+	if f.cur == nil || off < f.cur.pos || off-f.cur.pos > cursorReopenGap {
+		if err := f.openCursorFor(off); err != nil {
 			return 0, err
 		}
 	}
@@ -166,26 +204,147 @@ func (f *File) readAtCursor(p []byte, off int64) (int, error) {
 		}
 	}
 	n, err := io.ReadFull(f.cur.r, p)
+	if n > 0 {
+		// The stream reached the cursor's skip target: pos is exact again.
+		f.cur.skipPending = false
+	}
 	f.cur.pos += int64(n)
 	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
 		err = io.EOF
-		if f.usize < 0 {
+		if f.usize < 0 && !f.cur.skipPending {
 			f.usize = f.cur.pos // end reached: size now known
 		}
 	}
 	return n, err
 }
 
-// resetCursor (re)opens the streaming reader at decompressed offset 0
-// (f.mu held).
-func (f *File) resetCursor() error {
+// openCursorFor (re)opens the streaming cursor so its next byte is the
+// one at decompressed offset off (f.mu held). The cursor starts at the
+// best restart point at or before off — a retained auto-index
+// checkpoint, an attached Index checkpoint, or the file start — and
+// covers the remaining gap with the pipeline's translation-free skip;
+// restart points discovered while skipping are retained, so repeated
+// deep seeks into the same File stop re-decoding from the start.
+func (f *File) openCursorFor(off int64) error {
 	f.closeCursor()
-	r, err := NewReader(io.NewSectionReader(f.src, 0, f.size), f.streamOptions())
+	var (
+		secBase  int64
+		cs       cursorState
+		startOut int64
+	)
+	if cp := f.bestRestart(off); cp != nil {
+		secBase = f.hdrLen + cp.bit/8
+		cs.resume = &resumePoint{bit: cp.bit % 8, window: cp.win, out: cp.out}
+		startOut = cp.out
+	}
+	cs.skipTo = off
+	if sp := f.autoIndexSpacing(); sp > 0 && f.Checkpoints() < maxAutoCheckpoints {
+		// Once the retention cap is hit the side-channel is not wired at
+		// all: each checkpoint costs a 32 KiB window copy in the
+		// pipeline, pure waste when retainCheckpoint would drop it.
+		cs.spacing = sp
+		cs.onCheckpoint = func(cp core.Checkpoint) { f.retainCheckpoint(cp, secBase) }
+	}
+	r, err := newCursorReader(io.NewSectionReader(f.src, secBase, f.size-secBase), f.streamOptions(), cs)
 	if err != nil {
 		return err
 	}
-	f.cur = &fileCursor{r: r}
+	f.cur = &fileCursor{r: r, pos: off, skipPending: off > startOut}
 	return nil
+}
+
+// bestRestart returns the restart point closest below off: the best of
+// the retained auto-index checkpoints and the attached Index's
+// checkpoints (both first-member surfaces), or nil to start from the
+// beginning of the file. A checkpoint at output offset 0 is never
+// returned: resuming there with its zeroed window would seed the
+// decoder's context and silently soften the strict member-start rule
+// (back-references before the stream start must be rejected, not read
+// as zeros) — starting from scratch costs the same and keeps it.
+func (f *File) bestRestart(off int64) *fileCheckpoint {
+	var best *fileCheckpoint
+	f.cpMu.Lock()
+	if i := sort.Search(len(f.cps), func(i int) bool { return f.cps[i].out > off }); i > 0 {
+		cp := f.cps[i-1]
+		best = &cp
+	}
+	f.cpMu.Unlock()
+	if ix := f.opts.Index; ix != nil && ix.Size() > 0 {
+		// Past the indexed extent the index's last checkpoint is still
+		// the best first-member restart (the cursor handles the trailer
+		// and any following members from there).
+		lookup := off
+		if lookup >= ix.Size() {
+			lookup = ix.Size() - 1
+		}
+		if cp, err := ix.inner.FindCheckpoint(lookup); err == nil {
+			if best == nil || cp.Out > best.out {
+				best = &fileCheckpoint{bit: cp.Bit, out: cp.Out, win: cp.Window}
+			}
+		}
+	}
+	if best != nil && best.out == 0 {
+		return nil
+	}
+	return best
+}
+
+// autoIndexSpacing resolves FileOptions.AutoIndexSpacing (0 means the
+// zran default, negative disables).
+func (f *File) autoIndexSpacing() int64 {
+	switch {
+	case f.opts.AutoIndexSpacing < 0:
+		return 0
+	case f.opts.AutoIndexSpacing == 0:
+		return gzindex.DefaultSpacing
+	}
+	return f.opts.AutoIndexSpacing
+}
+
+// maxAutoCheckpoints caps the auto-index so its windows never dominate
+// memory regardless of file size: 1024 x 32 KiB = 32 MiB at most. Past
+// the cap new restart points are dropped; the retained set keeps
+// serving (callers wanting denser coverage of huge files attach a real
+// Index, whose windows live in one marshalled blob instead).
+const maxAutoCheckpoints = 1024
+
+// retainCheckpoint files a restart point discovered by a cursor whose
+// source section began at compressed offset secBase. Runs on the
+// cursor's worker goroutine, concurrent with reads — hence its own
+// lock. Neighbours closer than half the spacing are not duplicated, so
+// overlapping skip passes converge instead of accreting.
+func (f *File) retainCheckpoint(cp core.Checkpoint, secBase int64) {
+	bit := (secBase-f.hdrLen)*8 + cp.Bit
+	if bit < 0 || cp.Out == 0 {
+		// Pre-payload artifacts cannot happen for well-formed runs; the
+		// member-start boundary is useless as a restart point (see
+		// bestRestart) and would only occupy a retention slot.
+		return
+	}
+	gap := f.autoIndexSpacing() / 2
+	f.cpMu.Lock()
+	defer f.cpMu.Unlock()
+	if len(f.cps) >= maxAutoCheckpoints {
+		return
+	}
+	i := sort.Search(len(f.cps), func(i int) bool { return f.cps[i].out >= cp.Out })
+	if i < len(f.cps) && f.cps[i].out-cp.Out < gap {
+		return
+	}
+	if i > 0 && cp.Out-f.cps[i-1].out < gap {
+		return
+	}
+	f.cps = append(f.cps, fileCheckpoint{})
+	copy(f.cps[i+1:], f.cps[i:])
+	f.cps[i] = fileCheckpoint{bit: bit, out: cp.Out, win: cp.Window}
+}
+
+// Checkpoints returns the number of auto-index restart points the File
+// has retained so far (diagnostics; safe for concurrent use).
+func (f *File) Checkpoints() int {
+	f.cpMu.Lock()
+	defer f.cpMu.Unlock()
+	return len(f.cps)
 }
 
 func (f *File) closeCursor() {
@@ -241,10 +400,13 @@ func (f *File) Seek(offset int64, whence int) (int64, error) {
 }
 
 // Size returns the total decompressed size across all members. Without
-// an index covering the whole file this requires one full (bounded-
-// memory) decode pass the first time it is called; the result is
-// cached. Note a gzip trailer's ISIZE field is modulo 2^32 and
-// per-member, so it is not used.
+// an index covering the whole file this requires one measuring pass the
+// first time it is called — bounded-memory, parallel, and translation-
+// free (the pipeline counts exact output without materialising it) —
+// and the result is cached. Checkpoints discovered along the way feed
+// the auto-index, so a Size call also primes later deep seeks. Note a
+// gzip trailer's ISIZE field is modulo 2^32 and per-member, so it is
+// not used.
 func (f *File) Size() (int64, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -257,17 +419,21 @@ func (f *File) Size() (int64, error) {
 		f.usize = ix.Size()
 		return f.usize, nil
 	}
-	r, err := NewReader(io.NewSectionReader(f.src, 0, f.size), f.streamOptions())
+	cs := cursorState{skipTo: math.MaxInt64}
+	if sp := f.autoIndexSpacing(); sp > 0 && f.Checkpoints() < maxAutoCheckpoints {
+		cs.spacing = sp
+		cs.onCheckpoint = func(cp core.Checkpoint) { f.retainCheckpoint(cp, 0) }
+	}
+	r, err := newCursorReader(io.NewSectionReader(f.src, 0, f.size), f.streamOptions(), cs)
 	if err != nil {
 		return 0, err
 	}
 	defer r.Close()
-	n, err := io.Copy(io.Discard, r)
-	if err != nil {
+	if _, err := io.Copy(io.Discard, r); err != nil {
 		return 0, err
 	}
-	f.usize = n
-	return n, nil
+	f.usize = r.Stats().OutBytes
+	return f.usize, nil
 }
 
 // Close releases the forward-scan cursor (if any). The underlying

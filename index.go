@@ -1,0 +1,103 @@
+package pugz
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/gzindex"
+	"repro/internal/gzipx"
+)
+
+// This file is the streaming construction path for the zran-style
+// checkpoint Index: one bounded-memory parallel pass over any
+// io.Reader, with checkpoints harvested as a side-channel of the normal
+// pipeline decode. The whole-file BuildIndex in baselines.go is a thin
+// wrapper over it, and pugz -mkindex streams through it, so index
+// construction no longer slurps the compressed file or decodes on one
+// goroutine.
+
+// NewIndexFromReader builds a checkpoint index of the first gzip member
+// of src in one parallel streaming pass: checkpoints are emitted every
+// spacing output bytes (0 selects 1 MiB) while batches decode through
+// the bounded-memory pipeline, so peak memory is O(batch x threads +
+// index), independent of the stream size. The resulting index is
+// byte-identical (post-Marshal) to BuildIndex's over the same file.
+func NewIndexFromReader(src io.Reader, spacing int64, o StreamOptions) (*Index, error) {
+	ix, _, err := buildIndexStream(src, spacing, o)
+	return ix, err
+}
+
+// indexBuildStats reports how a streaming index build went; used by
+// tests to assert the bounded-memory property.
+type indexBuildStats struct {
+	// MaxBufferedCompressed is the peak compressed residency of the
+	// pipeline's source window.
+	MaxBufferedCompressed int64
+	// Batches is the number of pipeline batches decoded.
+	Batches int
+}
+
+// buildIndexStream is NewIndexFromReader returning build statistics.
+func buildIndexStream(src io.Reader, spacing int64, o StreamOptions) (*Index, *indexBuildStats, error) {
+	if spacing <= 0 {
+		spacing = gzindex.DefaultSpacing
+	}
+	p := core.NewPipeline(src, core.PipelineOptions{
+		Threads:              o.Threads,
+		BatchCompressedBytes: o.BatchCompressedBytes,
+		MinChunk:             o.MinChunk,
+		ReadSize:             o.ReadSize,
+		Prefetch:             o.Prefetch,
+		MaxWindowBytes:       o.MaxWindowBytes,
+	})
+	defer p.Close()
+	m, err := gzipx.ReadHeader(p.Window())
+	if err != nil {
+		return nil, nil, err
+	}
+	payloadOff := int64(m.HeaderLen)
+	inner := &gzindex.Index{}
+	res, err := p.RunMemberOpts(core.MemberRun{
+		// The output itself is discarded batch by batch; only the
+		// checkpoint windows survive.
+		Emit:              func([]byte) error { return nil },
+		CheckpointSpacing: spacing,
+		OnCheckpoint: func(cp core.Checkpoint) error {
+			inner.Checkpoints = append(inner.Checkpoints, gzindex.Checkpoint{
+				Bit:    cp.Bit - payloadOff*8,
+				Out:    cp.Out,
+				Window: cp.Window,
+			})
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	inner.OutSize = res.Out
+	inner.EndBit = res.EndBit - payloadOff*8
+	st := &indexBuildStats{
+		MaxBufferedCompressed: p.Window().MaxBuffered(),
+		Batches:               p.BatchCount(),
+	}
+	return &Index{inner: inner, payloadOff: payloadOff}, st, nil
+}
+
+// BuildIndex builds the index of the File's first member in one
+// parallel streaming pass over its source and attaches it, so
+// subsequent ReadAt calls within the indexed extent decode from the
+// nearest checkpoint. It returns the index (e.g. to Marshal into a
+// side-car). Like SetIndex, it must not race with concurrent reads.
+func (f *File) BuildIndex(spacing int64) (*Index, error) {
+	ix, err := NewIndexFromReader(io.NewSectionReader(f.src, 0, f.size), spacing, f.streamOptions())
+	if err != nil {
+		return nil, err
+	}
+	f.opts.Index = ix
+	f.mu.Lock()
+	if f.usize < 0 && ix.coversWholeFile(f.size) {
+		f.usize = ix.Size()
+	}
+	f.mu.Unlock()
+	return ix, nil
+}

@@ -139,7 +139,7 @@ func DecompressPayload(payload []byte, o Options) ([]byte, *Metrics, error) {
 		return out, metrics, nil
 	}
 
-	seg, err := decodeSegment(payload, 0, int64(len(payload)), nil, o)
+	seg, err := decodeSegment(payload, 0, int64(len(payload)), nil, o, segOpts{})
 	if err != nil {
 		return nil, nil, err
 	}

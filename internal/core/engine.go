@@ -35,6 +35,7 @@ type chunk struct {
 	endBit    int64
 	final     bool
 	firstSpan *flate.BlockSpan // first decoded block (symbolic chunks)
+	spans     []flate.BlockSpan
 
 	ctx []byte // resolved initial context (pass 2)
 	out int64  // offset of this chunk's bytes in the segment output
@@ -73,15 +74,45 @@ var ErrNoFinalBlock = errors.New("core: stream has no final block (truncated?)")
 // streaming pipeline (one segment = one batch).
 type segment struct {
 	chunks []*chunk
-	out    []byte // translated output
+	out    []byte // translated output (nil when translation was skipped)
+	outLen int64  // total output bytes, valid even when out is nil
 	window []byte // resolved last 32 KiB (context for the next segment)
 	endBit int64  // bit offset just past the last decoded block
 	final  bool   // the stream's final block was reached
+
+	// spans are the segment's block boundaries in decode order
+	// (payload-relative bits, segment-relative output offsets) when
+	// segOpts.recordSpans was set; the raw material for checkpoints.
+	spans []flate.BlockSpan
+	// starts are chunk-start restart points with resolved windows,
+	// collected in place of spans-based checkpoints when translation was
+	// skipped (segOpts.chunkStarts).
+	starts []Checkpoint
 
 	syncWall     time.Duration
 	pass1Wall    time.Duration
 	pass2SeqWall time.Duration
 	pass2ParWall time.Duration
+}
+
+// segOpts frames how one decodeSegment call materialises its results;
+// it is the per-call companion of the long-lived Options.
+type segOpts struct {
+	// skipBelow > 0 marks the segment as (potentially) skippable: when
+	// the segment's entire output lies below this segment-relative
+	// offset, pass-2 translation and the output allocation are elided —
+	// the decode still validates structure, measures exact sizes, and
+	// propagates context windows. Segments that reach skipBelow
+	// translate in full.
+	skipBelow int64
+	// recordSpans collects every block boundary into segment.spans.
+	recordSpans bool
+	// chunkStarts collects chunk-start checkpoints (with copied context
+	// windows) into segment.starts for skipped segments; only starts at
+	// or past segment-relative offset startsFrom are kept, so windows
+	// the spacing filter would discard are never copied.
+	chunkStarts bool
+	startsFrom  int64
 }
 
 // release returns the segment's pooled resources (the resolved window)
@@ -102,7 +133,7 @@ func (s *segment) release() {
 // a prefix is identical to the decode over the full stream, and a
 // decode that runs off the end of the window fails (the caller buffers
 // more and retries).
-func decodeSegment(payload []byte, startBit int64, spanBytes int64, ctx []byte, o Options) (*segment, error) {
+func decodeSegment(payload []byte, startBit int64, spanBytes int64, ctx []byte, o Options, so segOpts) (*segment, error) {
 	seg := &segment{}
 
 	// --- Sync: locate one confirmed block start per chunk boundary.
@@ -127,7 +158,7 @@ func decodeSegment(payload []byte, startBit int64, spanBytes int64, ctx []byte, 
 	// exactly (its context is known); later chunks decode with symbolic
 	// contexts.
 	tP1 := time.Now()
-	if err := runPass1(payload, chunks, ctx, o.Sequential); err != nil {
+	if err := runPass1(payload, chunks, ctx, o.Sequential, so.recordSpans); err != nil {
 		return fail(err)
 	}
 	seg.pass1Wall = time.Since(tP1)
@@ -177,10 +208,41 @@ func decodeSegment(payload []byte, startBit int64, spanBytes int64, ctx []byte, 
 
 	// --- Pass 2: resolve windows sequentially, translate in parallel.
 	// resolveSegment owns scratch release from here on.
-	if err := resolveSegment(seg, ctx, o.Sequential); err != nil {
+	if err := resolveSegment(seg, ctx, o.Sequential, so); err != nil {
 		return fail(err)
 	}
+	if so.recordSpans && seg.out != nil {
+		// Spans feed the spacing-exact checkpoint walk, which only runs
+		// over translated segments (skipped ones use seg.starts).
+		collectSpans(seg)
+	}
 	return seg, nil
+}
+
+// collectSpans flattens the per-chunk block spans into one in-order
+// segment span list: output offsets become segment-relative, and the
+// first span of each non-first chunk is pinned to its predecessor's
+// exact stop bit. That pinning matters for byte-identical indexes: a
+// stored block's byte-alignment padding makes the candidate start bit
+// ambiguous (continuity already verified the decodes are equivalent),
+// and a sequential decode — the reference an index is compared against
+// — always reports the predecessor's stop position.
+func collectSpans(seg *segment) {
+	n := 0
+	for _, c := range seg.chunks {
+		n += len(c.spans)
+	}
+	seg.spans = make([]flate.BlockSpan, 0, n)
+	for i, c := range seg.chunks {
+		for j, s := range c.spans {
+			s.OutStart += c.out
+			s.OutEnd += c.out
+			if j == 0 && i > 0 {
+				s.Event.StartBit = seg.chunks[i-1].endBit
+			}
+			seg.spans = append(seg.spans, s)
+		}
+	}
 }
 
 // planSegment finds the chunk block starts for the segment beginning at
@@ -311,13 +373,13 @@ func forEachChunk(sequential bool, lo, hi int, fn func(int)) {
 // is known — ctx when mid-stream, empty at the true stream start — so
 // it decodes exactly into bytes; the rest decode with fully
 // undetermined symbolic contexts.
-func runPass1(payload []byte, chunks []*chunk, ctx []byte, sequential bool) error {
+func runPass1(payload []byte, chunks []*chunk, ctx []byte, sequential bool, recordSpans bool) error {
 	errs := make([]error, len(chunks))
 	forEachChunk(sequential, 0, len(chunks), func(i int) {
 		c := chunks[i]
 		t := time.Now()
 		if i == 0 {
-			errs[i] = c.decodePlain(payload, ctx)
+			errs[i] = c.decodePlain(payload, ctx, recordSpans)
 		} else {
 			errs[i] = c.decodeTracked(payload)
 		}
@@ -352,12 +414,15 @@ func (s *stopAt) BlockEnd(nextBit int64) error { return s.inner.BlockEnd(nextBit
 // the start are rejected, as in a normal gunzip); otherwise the sink is
 // seeded with the 32 KiB window so mid-stream references resolve to
 // real bytes immediately — no symbolic detour, no pass-2 translation.
-func (c *chunk) decodePlain(payload []byte, ctx []byte) error {
+func (c *chunk) decodePlain(payload []byte, ctx []byte, recordSpans bool) error {
 	r, err := bitio.NewReaderAt(payload, c.startBit)
 	if err != nil {
 		return err
 	}
 	sink := &flate.ByteSink{Out: getPlainBuf()}
+	if recordSpans {
+		sink.RecordBlocks()
+	}
 	dec := flate.GetDecoder(flate.Options{})
 	defer flate.PutDecoder(dec)
 	if ctx == nil {
@@ -400,6 +465,7 @@ func (c *chunk) decodePlain(payload []byte, ctx []byte) error {
 	} else {
 		c.endBit = r.BitPos()
 	}
+	c.spans = sink.Blocks
 	c.m.OutBytes = int64(len(c.plain))
 	return nil
 }
@@ -420,6 +486,7 @@ func (c *chunk) decodeTracked(payload []byte) error {
 	c.symRes = res
 	c.endBit = res.EndBit
 	c.final = res.Final
+	c.spans = res.Spans
 	if len(res.Spans) > 0 {
 		c.firstSpan = &res.Spans[0]
 	}
@@ -481,7 +548,13 @@ func (p *probeSink) BlockEnd(nextBit int64) error         { p.endBit = nextBit; 
 // parallel. ctx is the resolved window preceding the segment (nil =
 // zeros at the true stream start). On return the pass-1 scratch (plain
 // buffers, symbolic buffers, per-chunk windows) is back in the pools.
-func resolveSegment(seg *segment, ctx []byte, sequential bool) error {
+//
+// When so.skipBelow marks the segment as skippable and its entire
+// output lies below that bound, the parallel translation (pass 2b) and
+// the output allocation are elided: seg.out stays nil and only
+// seg.outLen and the propagated windows survive — the two-pass skip
+// that makes deep seeks cheap.
+func resolveSegment(seg *segment, ctx []byte, sequential bool, so segOpts) error {
 	chunks := seg.chunks
 
 	// Layout: prefix sums of chunk output sizes.
@@ -490,7 +563,12 @@ func resolveSegment(seg *segment, ctx []byte, sequential bool) error {
 		c.out = total
 		total += c.outLen()
 	}
-	out := make([]byte, total)
+	seg.outLen = total
+	translate := so.skipBelow <= 0 || total > so.skipBelow
+	var out []byte
+	if translate {
+		out = make([]byte, total)
+	}
 
 	// Pass 2a (sequential): propagate resolved windows. Every window in
 	// the chain is pooled except the caller's own ctx; the final one is
@@ -526,30 +604,51 @@ func resolveSegment(seg *segment, ctx []byte, sequential bool) error {
 	}
 	seg.pass2SeqWall = time.Since(tSeq)
 
-	// Pass 2b (parallel): translate every chunk into place.
-	tPar := time.Now()
-	errs := make([]error, len(chunks))
-	forEachChunk(sequential, 0, len(chunks), func(i int) {
-		c := chunks[i]
-		t := time.Now()
-		if c.plain != nil {
-			copy(out[c.out:], c.plain)
-		} else {
-			dst := out[c.out : c.out+int64(len(c.sym))]
-			if _, err := tracked.Resolve(c.sym, c.ctx, dst); err != nil {
-				errs[i] = err
+	// Skipped segments retain their chunk starts as restart points: the
+	// chunk's start bit is a confirmed block boundary and c.ctx is
+	// exactly the resolved 32 KiB preceding it — a free checkpoint per
+	// chunk, harvested while the windows are still alive.
+	if !translate && so.chunkStarts {
+		for _, c := range chunks {
+			if c.out < so.startsFrom {
+				continue
 			}
+			win := make([]byte, tracked.WindowSize)
+			copy(win, c.ctx)
+			seg.starts = append(seg.starts, Checkpoint{Bit: c.startBit, Out: c.out, Window: win})
 		}
-		c.m.Pass2 = time.Since(t)
-	})
-	seg.pass2ParWall = time.Since(tPar)
+	}
+
+	// Pass 2b (parallel): translate every chunk into place.
+	if translate {
+		tPar := time.Now()
+		errs := make([]error, len(chunks))
+		forEachChunk(sequential, 0, len(chunks), func(i int) {
+			c := chunks[i]
+			t := time.Now()
+			if c.plain != nil {
+				copy(out[c.out:], c.plain)
+			} else {
+				dst := out[c.out : c.out+int64(len(c.sym))]
+				if _, err := tracked.Resolve(c.sym, c.ctx, dst); err != nil {
+					errs[i] = err
+				}
+			}
+			c.m.Pass2 = time.Since(t)
+		})
+		seg.pass2ParWall = time.Since(tPar)
+		if err := errors.Join(errs...); err != nil {
+			releaseChain()
+			for _, c := range chunks {
+				c.releaseScratch()
+			}
+			tracked.PutWindow(w)
+			return err
+		}
+	}
 	releaseChain()
 	for _, c := range chunks {
 		c.releaseScratch()
-	}
-	if err := errors.Join(errs...); err != nil {
-		tracked.PutWindow(w)
-		return err
 	}
 	seg.out = out
 	seg.window = w

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fastq"
+	"repro/internal/tracked"
+)
+
+// TestRunMemberSkipTo: the translation-free skip must deliver exactly
+// the bytes from SkipTo onward, while the decode still accounts for the
+// full member (MemberResult.Out is the total size).
+func TestRunMemberSkipTo(t *testing.T) {
+	data := fastq.Generate(fastq.GenOptions{Reads: 12000, Seed: 41})
+	payload := mustCompress(t, data, 6)
+	for _, skip := range []int64{0, 1, 100_000, int64(len(data)) - 777, int64(len(data)), int64(len(data)) + 5000} {
+		p := NewPipeline(bytes.NewReader(payload), PipelineOptions{
+			Threads:              3,
+			BatchCompressedBytes: 128 << 10,
+			MinChunk:             8 << 10,
+		})
+		var out []byte
+		res, err := p.RunMemberOpts(MemberRun{
+			Emit:   func(b []byte) error { out = append(out, b...); return nil },
+			SkipTo: skip,
+		})
+		p.Close()
+		if err != nil {
+			t.Fatalf("skip %d: %v", skip, err)
+		}
+		if res.Out != int64(len(data)) {
+			t.Fatalf("skip %d: member out %d, want %d", skip, res.Out, len(data))
+		}
+		want := []byte{}
+		if skip < int64(len(data)) {
+			want = data[skip:]
+		}
+		if !bytes.Equal(out, want) {
+			t.Fatalf("skip %d: emitted %d bytes, want %d (mismatch)", skip, len(out), len(want))
+		}
+		if p.OutBytes() != int64(len(data)) {
+			t.Fatalf("skip %d: OutBytes %d, want %d", skip, p.OutBytes(), len(data))
+		}
+	}
+}
+
+// TestRunMemberCheckpoints: checkpoints emitted as a side-channel of a
+// translated run must carry the true output window at their offset and
+// respect the requested spacing.
+func TestRunMemberCheckpoints(t *testing.T) {
+	data := fastq.Generate(fastq.GenOptions{Reads: 12000, Seed: 42})
+	payload := mustCompress(t, data, 6)
+	const spacing = 200 << 10
+	p := NewPipeline(bytes.NewReader(payload), PipelineOptions{
+		Threads:              3,
+		BatchCompressedBytes: 256 << 10,
+		MinChunk:             8 << 10,
+	})
+	defer p.Close()
+	var cps []Checkpoint
+	res, err := p.RunMemberOpts(MemberRun{
+		Emit:              func([]byte) error { return nil },
+		CheckpointSpacing: spacing,
+		OnCheckpoint:      func(cp Checkpoint) error { cps = append(cps, cp); return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Out != int64(len(data)) {
+		t.Fatalf("member out %d, want %d", res.Out, len(data))
+	}
+	if len(cps) < 3 {
+		t.Fatalf("only %d checkpoints over %d output bytes at spacing %d", len(cps), len(data), spacing)
+	}
+	if cps[0].Out != 0 {
+		t.Fatalf("first checkpoint at out %d, want 0", cps[0].Out)
+	}
+	for i, cp := range cps {
+		if i > 0 && cp.Out-cps[i-1].Out < spacing {
+			t.Fatalf("checkpoints %d and %d only %d bytes apart", i-1, i, cp.Out-cps[i-1].Out)
+		}
+		want := make([]byte, tracked.WindowSize)
+		if cp.Out >= tracked.WindowSize {
+			copy(want, data[cp.Out-tracked.WindowSize:cp.Out])
+		} else {
+			copy(want[tracked.WindowSize-cp.Out:], data[:cp.Out])
+		}
+		if !bytes.Equal(cp.Window, want) {
+			t.Fatalf("checkpoint %d (out %d): window mismatch", i, cp.Out)
+		}
+	}
+}
+
+// TestRunMemberResumeFromCheckpoint: a fresh pipeline positioned at a
+// checkpoint's byte, seeded with its window, must reproduce the member
+// tail exactly — the property the File cursor's auto-indexing relies
+// on. The same applies to chunk-start checkpoints harvested during a
+// skipped (translation-free) run.
+func TestRunMemberResumeFromCheckpoint(t *testing.T) {
+	data := fastq.Generate(fastq.GenOptions{Reads: 12000, Seed: 43})
+	payload := mustCompress(t, data, 6)
+
+	collect := func(skipTo int64) []Checkpoint {
+		p := NewPipeline(bytes.NewReader(payload), PipelineOptions{
+			Threads:              3,
+			BatchCompressedBytes: 128 << 10,
+			MinChunk:             8 << 10,
+		})
+		defer p.Close()
+		var cps []Checkpoint
+		_, err := p.RunMemberOpts(MemberRun{
+			Emit:              func([]byte) error { return nil },
+			SkipTo:            skipTo,
+			CheckpointSpacing: 64 << 10,
+			OnCheckpoint:      func(cp Checkpoint) error { cps = append(cps, cp); return nil },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cps
+	}
+
+	for name, cps := range map[string][]Checkpoint{
+		"translated": collect(0),
+		"skipped":    collect(int64(len(data))), // whole member in skip mode: chunk-start checkpoints
+	} {
+		if len(cps) < 2 {
+			t.Fatalf("%s: only %d checkpoints", name, len(cps))
+		}
+		cp := cps[len(cps)/2]
+		p := NewPipeline(bytes.NewReader(payload[cp.Bit/8:]), PipelineOptions{
+			Threads:              2,
+			BatchCompressedBytes: 128 << 10,
+			MinChunk:             8 << 10,
+		})
+		var out []byte
+		res, err := p.RunMemberOpts(MemberRun{
+			Emit:     func(b []byte) error { out = append(out, b...); return nil },
+			StartBit: cp.Bit % 8,
+			Context:  cp.Window,
+			OutBase:  cp.Out,
+		})
+		p.Close()
+		if err != nil {
+			t.Fatalf("%s: resume at bit %d: %v", name, cp.Bit, err)
+		}
+		if res.Out != int64(len(data)) {
+			t.Fatalf("%s: resumed member out %d, want %d", name, res.Out, len(data))
+		}
+		if !bytes.Equal(out, data[cp.Out:]) {
+			t.Fatalf("%s: resumed tail mismatch from out %d", name, cp.Out)
+		}
+	}
+}

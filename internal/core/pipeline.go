@@ -70,8 +70,10 @@ type Pipeline struct {
 // RunMember calls. Safe from any goroutine.
 func (p *Pipeline) BatchCount() int { return int(p.batches.Load()) }
 
-// OutBytes returns the decompressed bytes emitted so far, across all
-// RunMember calls. Safe from any goroutine.
+// OutBytes returns the decompressed bytes decoded so far across all
+// RunMember calls — including skip-mode output that was measured but
+// never translated or emitted (File.Size relies on this). Safe from any
+// goroutine.
 func (p *Pipeline) OutBytes() int64 { return p.outBytes.Load() }
 
 // NewPipeline returns a Pipeline reading compressed bytes from r.
@@ -124,6 +126,67 @@ func (p *Pipeline) Window() *srcbuf.Window { return p.win }
 // waiting on source data. Safe to call from any goroutine.
 func (p *Pipeline) Close() { p.win.Close() }
 
+// Checkpoint is a decoder restart point emitted as a side-channel of
+// normal parallel decode (see MemberRun): Bit is the absolute source
+// bit offset of a block boundary in the pipeline's coordinates, Out the
+// member-relative decompressed offset at that boundary, and Window the
+// 32 KiB of output preceding Out (zero-padded at the member start). The
+// receiver owns Window.
+type Checkpoint struct {
+	Bit    int64
+	Out    int64
+	Window []byte
+}
+
+// MemberRun configures one RunMemberOpts call. The zero value (plus an
+// Emit callback) decodes a member from the window's current position,
+// exactly like RunMember.
+type MemberRun struct {
+	// Emit receives consecutive decompressed batches (each a freshly
+	// allocated slice the callee may retain). Output below SkipTo is
+	// never delivered. Required.
+	Emit func([]byte) error
+
+	// StartBit is the absolute source bit to start decoding at; <= 0
+	// selects the window's current base. It must be a true block
+	// boundary (a member start, a previous run's end bit, or an index
+	// checkpoint).
+	StartBit int64
+	// Context is the resolved 32 KiB window preceding StartBit. nil
+	// means StartBit is the member's true start (zero context,
+	// back-references before it rejected).
+	Context []byte
+	// OutBase is the member-relative decompressed offset at StartBit
+	// (non-zero only when resuming mid-member from a checkpoint).
+	OutBase int64
+
+	// SkipTo is a member-relative output offset: bytes below it are not
+	// emitted, and batches that lie entirely below it skip pass-2
+	// translation — the parallel two-pass skip (workers still locate
+	// block boundaries, decode symbolically, and propagate context
+	// windows, so everything from SkipTo onward is exact).
+	SkipTo int64
+
+	// CheckpointSpacing, with OnCheckpoint set, emits restart points at
+	// least this many output bytes apart: every block boundary is a
+	// candidate in translated batches, chunk starts in skipped ones.
+	// OnCheckpoint runs on the pipeline's goroutine; an error aborts the
+	// run.
+	CheckpointSpacing int64
+	OnCheckpoint      func(Checkpoint) error
+}
+
+// MemberResult reports a finished RunMemberOpts call.
+type MemberResult struct {
+	// EndBit is the absolute source bit offset just past the member's
+	// final block; the window is left positioned at the byte containing
+	// it, so the caller can resume framing at the next byte boundary.
+	EndBit int64
+	// Out is the member-relative decompressed offset at the member's
+	// end (the member's total decompressed size when OutBase was 0).
+	Out int64
+}
+
 // RunMember decodes one raw DEFLATE stream starting at the window's
 // current position, invoking emit with consecutive decompressed batches
 // (each a freshly allocated slice the callee may retain). It returns
@@ -131,29 +194,114 @@ func (p *Pipeline) Close() { p.win.Close() }
 // leaves the window positioned at the byte containing that bit, so the
 // caller can resume framing at the following byte boundary.
 func (p *Pipeline) RunMember(emit func([]byte) error) (int64, error) {
+	res, err := p.RunMemberOpts(MemberRun{Emit: emit})
+	return res.EndBit, err
+}
+
+// RunMemberOpts decodes one raw DEFLATE stream with the full option
+// surface: mid-member resume from a checkpoint, translation-free skip
+// up to a target offset, and checkpoint emission as a side-channel of
+// the decode.
+func (p *Pipeline) RunMemberOpts(run MemberRun) (MemberResult, error) {
 	ctx := tracked.GetWindow() // zeroed: the member's true start
+	if run.Context != nil {
+		copy(ctx, run.Context)
+	}
 	defer func() { tracked.PutWindow(ctx) }()
-	startBit := p.win.Base() * 8
+	startBit := run.StartBit
+	if startBit <= 0 {
+		startBit = p.win.Base() * 8
+	}
+	memberOut := run.OutBase
+	checkpointing := run.OnCheckpoint != nil && run.CheckpointSpacing > 0
+	nextCpAt := run.OutBase // first candidate boundary checkpoints immediately
 	for {
-		seg, err := p.decodeNext(startBit, ctx)
-		if err != nil {
-			return 0, err
+		so := segOpts{recordSpans: checkpointing, chunkStarts: checkpointing,
+			startsFrom: nextCpAt - memberOut}
+		if run.SkipTo > memberOut {
+			so.skipBelow = run.SkipTo - memberOut
 		}
-		if err := emit(seg.out); err != nil {
-			seg.release()
-			return 0, err
+		seg, err := p.decodeNext(startBit, ctx, so)
+		if err != nil {
+			return MemberResult{}, err
+		}
+		// Checkpoints are emitted against the pre-segment context (their
+		// windows may need its tail), before it is swapped forward.
+		winBase := p.win.Base()
+		if checkpointing {
+			if err := emitCheckpoints(run.OnCheckpoint, run.CheckpointSpacing, &nextCpAt,
+				seg, ctx, memberOut, winBase); err != nil {
+				seg.release()
+				return MemberResult{}, err
+			}
+		}
+		if seg.out != nil {
+			b := seg.out
+			if from := run.SkipTo - memberOut; from > 0 {
+				b = b[from:]
+			}
+			if err := run.Emit(b); err != nil {
+				seg.release()
+				return MemberResult{}, err
+			}
 		}
 		p.batches.Add(1)
-		p.outBytes.Add(int64(len(seg.out)))
+		p.outBytes.Add(seg.outLen)
+		memberOut += seg.outLen
 		tracked.PutWindow(ctx)
 		ctx = seg.window
-		endAbs := p.win.Base()*8 + seg.endBit
+		endAbs := winBase*8 + seg.endBit
 		p.win.DiscardTo(endAbs / 8)
 		startBit = endAbs
 		if seg.final {
-			return endAbs, nil
+			return MemberResult{EndBit: endAbs, Out: memberOut}, nil
 		}
 	}
+}
+
+// emitCheckpoints walks one decoded segment's restart-point candidates
+// — every block boundary when the segment was translated, the chunk
+// starts when it was skipped — and emits those at or past *nextAt,
+// advancing it by spacing each time. ctx is the resolved window
+// preceding the segment, memberOut the member-relative offset of its
+// first output byte, winBase the source byte offset of the payload
+// window the segment's bit offsets are relative to.
+func emitCheckpoints(fn func(Checkpoint) error, spacing int64, nextAt *int64,
+	seg *segment, ctx []byte, memberOut, winBase int64) error {
+	emit := func(bit, segRel int64, win []byte) error {
+		out := memberOut + segRel
+		if out < *nextAt {
+			return nil
+		}
+		if win == nil {
+			win = make([]byte, tracked.WindowSize)
+			if segRel >= tracked.WindowSize {
+				copy(win, seg.out[segRel-tracked.WindowSize:segRel])
+			} else {
+				copy(win, ctx[segRel:])
+				copy(win[tracked.WindowSize-segRel:], seg.out[:segRel])
+			}
+		}
+		if err := fn(Checkpoint{Bit: winBase*8 + bit, Out: out, Window: win}); err != nil {
+			return err
+		}
+		*nextAt = out + spacing
+		return nil
+	}
+	if seg.out != nil {
+		for _, s := range seg.spans {
+			if err := emit(s.Event.StartBit, s.OutStart, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, cp := range seg.starts {
+		if err := emit(cp.Bit, cp.Out, cp.Window); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // decodeNext decodes the batch beginning at absolute bit startBit,
@@ -162,7 +310,7 @@ func (p *Pipeline) RunMember(emit func([]byte) error) (int64, error) {
 // succeeds is identical to the decode over the full stream (DEFLATE is
 // prefix-deterministic), so retry is only ever needed on error. Each
 // batch is one segment of the shared chunk-decode engine.
-func (p *Pipeline) decodeNext(startBit int64, ctx []byte) (*segment, error) {
+func (p *Pipeline) decodeNext(startBit int64, ctx []byte, so segOpts) (*segment, error) {
 	need := p.batchBytes + batchSlack
 	for {
 		if err := p.win.Fill(need); errors.Is(err, srcbuf.ErrClosed) {
@@ -171,7 +319,7 @@ func (p *Pipeline) decodeNext(startBit int64, ctx []byte) (*segment, error) {
 		// Decode whatever is resident even if the source just failed:
 		// an io.Reader may deliver its final bytes alongside its error.
 		rel := startBit - p.win.Base()*8
-		seg, err := decodeSegment(p.win.Bytes(), rel, int64(p.batchBytes), ctx, p.inner)
+		seg, err := decodeSegment(p.win.Bytes(), rel, int64(p.batchBytes), ctx, p.inner, so)
 		if err == nil {
 			return seg, nil
 		}

@@ -28,6 +28,7 @@ import (
 // gunzip's output across all members of a multi-member file.
 type Reader struct {
 	opts StreamOptions
+	cs   cursorState
 	p    *core.Pipeline
 
 	batches chan []byte
@@ -40,6 +41,32 @@ type Reader struct {
 
 	closeOnce sync.Once
 	members   atomic.Int64
+}
+
+// cursorState is the package-internal configuration File uses when it
+// opens a Reader as its forward cursor: a mid-member resume point, a
+// translation-free skip bound, and a checkpoint side-channel feeding
+// the File's auto-index. The zero value is a plain Reader.
+type cursorState struct {
+	// resume, when non-nil, starts the first member mid-stream at a
+	// known block boundary instead of parsing a gzip header.
+	resume *resumePoint
+	// skipTo is a stream-relative decompressed offset: output below it
+	// is decoded without pass-2 translation and never emitted.
+	skipTo int64
+	// spacing/onCheckpoint: emit first-member restart points (pipeline
+	// source coordinates) at least spacing output bytes apart.
+	// onCheckpoint runs on the Reader's worker goroutine.
+	spacing      int64
+	onCheckpoint func(core.Checkpoint)
+}
+
+// resumePoint pins a Reader's start to a checkpoint: the source handed
+// to newCursorReader must begin at the byte containing the boundary.
+type resumePoint struct {
+	bit    int64  // bit offset of the block boundary within the source
+	window []byte // resolved 32 KiB preceding it (not mutated)
+	out    int64  // first-member decompressed offset at the boundary
 }
 
 // StreamOptions configures a Reader.
@@ -89,6 +116,13 @@ type ReaderStats struct {
 // compress/gzip's NewReader. Callers should Close the Reader to
 // release the pipeline if they stop reading early.
 func NewReader(src io.Reader, o StreamOptions) (*Reader, error) {
+	return newCursorReader(src, o, cursorState{})
+}
+
+// newCursorReader is NewReader plus the cursor-only surface (resume,
+// skip, checkpoint side-channel). A resumed Reader starts mid-member,
+// so no gzip header is parsed at its source's start.
+func newCursorReader(src io.Reader, o StreamOptions, cs cursorState) (*Reader, error) {
 	p := core.NewPipeline(src, core.PipelineOptions{
 		Threads:              o.Threads,
 		BatchCompressedBytes: o.BatchCompressedBytes,
@@ -97,12 +131,15 @@ func NewReader(src io.Reader, o StreamOptions) (*Reader, error) {
 		Prefetch:             o.Prefetch,
 		MaxWindowBytes:       o.MaxWindowBytes,
 	})
-	if _, err := gzipx.ReadHeader(p.Window()); err != nil {
-		p.Close()
-		return nil, err
+	if cs.resume == nil {
+		if _, err := gzipx.ReadHeader(p.Window()); err != nil {
+			p.Close()
+			return nil, err
+		}
 	}
 	r := &Reader{
 		opts:    o,
+		cs:      cs,
 		p:       p,
 		batches: make(chan []byte, 2),
 		errc:    make(chan error, 1),
@@ -120,13 +157,16 @@ func NewReaderBytes(gz []byte, o StreamOptions) (*Reader, error) {
 var errStreamCancelled = errors.New("pugz: stream cancelled")
 
 // run walks members in a worker goroutine: the header of the current
-// member is always already consumed when the loop body starts.
+// member is always already consumed when the loop body starts (or, for
+// a resumed cursor, the first member continues from its resume point).
 func (r *Reader) run() {
 	defer close(r.batches)
 	win := r.p.Window()
+	memberBase := int64(0) // stream offset of the current member's first output byte
+	first := true
 	for {
 		var crc, isize uint32
-		endBit, err := r.p.RunMember(func(b []byte) error {
+		mr := core.MemberRun{Emit: func(b []byte) error {
 			if r.opts.VerifyChecksums {
 				crc = crc32.Update(crc, crc32.IEEETable, b)
 				isize += uint32(len(b))
@@ -139,11 +179,34 @@ func (r *Reader) run() {
 			case <-r.cancel:
 				return errStreamCancelled
 			}
-		})
+		}}
+		if first {
+			if rp := r.cs.resume; rp != nil {
+				mr.StartBit = rp.bit
+				mr.Context = rp.window
+				mr.OutBase = rp.out
+			}
+			// Checkpoints carry first-member offsets only, matching the
+			// Index surface; later members decode without the side-channel.
+			if r.cs.onCheckpoint != nil && r.cs.spacing > 0 {
+				mr.CheckpointSpacing = r.cs.spacing
+				mr.OnCheckpoint = func(cp core.Checkpoint) error {
+					r.cs.onCheckpoint(cp)
+					return nil
+				}
+			}
+		}
+		if r.cs.skipTo > memberBase {
+			mr.SkipTo = r.cs.skipTo - memberBase
+		}
+		res, err := r.p.RunMemberOpts(mr)
+		endBit := res.EndBit
 		if err != nil {
 			r.fail(err)
 			return
 		}
+		memberBase += res.Out
+		first = false
 		// The member's final block ends at endBit; the trailer begins
 		// at the next byte boundary.
 		win.DiscardTo((endBit + 7) / 8)

@@ -7,10 +7,7 @@ import (
 
 func TestPublicIndexRoundTrip(t *testing.T) {
 	data := genFastq(15000, 71)
-	gz, err := Compress(data, 6)
-	if err != nil {
-		t.Fatal(err)
-	}
+	gz := gzCorpus(t, 15000, 71, 6)
 	ix, err := BuildIndex(gz, 512<<10)
 	if err != nil {
 		t.Fatal(err)
@@ -47,7 +44,7 @@ func TestPublicIndexRoundTrip(t *testing.T) {
 }
 
 func TestPublicBGZF(t *testing.T) {
-	data := genFastq(15000, 72)
+	data := genFastq(15000, 71)
 	bz, err := CompressBGZF(data, 6)
 	if err != nil {
 		t.Fatal(err)
@@ -55,10 +52,7 @@ func TestPublicBGZF(t *testing.T) {
 	if !IsBGZF(bz) {
 		t.Fatal("own BGZF output not recognised")
 	}
-	gz, err := Compress(data, 6)
-	if err != nil {
-		t.Fatal(err)
-	}
+	gz := gzCorpus(t, 15000, 71, 6)
 	if IsBGZF(gz) {
 		t.Fatal("plain gzip recognised as BGZF")
 	}

@@ -477,6 +477,104 @@ func BenchmarkCompressParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkFileDeepSeekTail is the deep seek in the geometry where the
+// tail-only sinks engage: many small batches, so the clearly-skippable
+// middle segments decode with O(32 KiB)-per-chunk pass-1 state while
+// only the first and boundary batches decode in full. (The companion
+// BenchmarkFileDeepSeek keeps the default single-batch geometry for
+// comparability with earlier captures.)
+func BenchmarkFileDeepSeekTail(b *testing.B) {
+	b.ReportAllocs()
+	loadFixtures(b)
+	var usize int64
+	{
+		f, err := pugz.NewFileBytes(fixGz, pugz.FileOptions{Threads: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if usize, err = f.Size(); err != nil {
+			b.Fatal(err)
+		}
+		f.Close()
+	}
+	off := usize * 9 / 10
+	buf := make([]byte, 64<<10)
+	b.SetBytes(int64(len(fixGz)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := pugz.NewFileBytes(fixGz, pugz.FileOptions{
+			Threads:              4,
+			BatchCompressedBytes: 128 << 10,
+			AutoIndexSpacing:     -1, // isolate the skip itself
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.ReadAt(buf, off); err != nil && err != io.EOF {
+			b.Fatal(err)
+		}
+		f.Close()
+	}
+}
+
+// BenchmarkFileSize measures the tail-only measuring pass behind
+// Size(): a translation-free, bounded-memory sweep whose pass-1 state
+// is O(32 KiB) per chunk (PR 5's tail sink), with the default
+// auto-index checkpoint harvest running as a side-channel.
+func BenchmarkFileSize(b *testing.B) {
+	b.ReportAllocs()
+	loadFixtures(b)
+	b.SetBytes(int64(len(fixGz)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := pugz.NewFileBytes(fixGz, pugz.FileOptions{Threads: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.Size(); err != nil {
+			b.Fatal(err)
+		}
+		f.Close()
+	}
+}
+
+// BenchmarkResolveDensity measures the batched pass-2 translation
+// kernel at several symbolic densities: "none" is the pure-literal
+// fast path (the overwhelmingly common case — symbols only survive in
+// a chunk's first 32 KiB), "sparse" the realistic tail, and "half" the
+// adversarial worst case for the 8-wide literal scan.
+func BenchmarkResolveDensity(b *testing.B) {
+	b.ReportAllocs()
+	ctx := make([]byte, tracked.WindowSize)
+	for i := range ctx {
+		ctx[i] = byte(i)
+	}
+	out := make([]uint16, 8<<20)
+	dst := make([]byte, len(out))
+	for _, cfg := range []struct {
+		name  string
+		every int // one symbol per `every` entries; 0 = none
+	}{{"none", 0}, {"sparse", 128}, {"half", 2}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := range out {
+				if cfg.every > 0 && i%cfg.every == 0 {
+					out[i] = uint16(tracked.SymBase + i%tracked.WindowSize)
+				} else {
+					out[i] = uint16('A' + i%4)
+				}
+			}
+			b.SetBytes(int64(len(out)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tracked.Resolve(out, ctx, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPass2Translate isolates the pass-2 symbol translation scan.
 func BenchmarkPass2Translate(b *testing.B) {
 	b.ReportAllocs()

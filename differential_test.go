@@ -230,10 +230,7 @@ func TestDifferentialParallelCompress(t *testing.T) {
 func TestDifferentialRoundTripMatrix(t *testing.T) {
 	data := genFastq(6000, 76)
 	for level := 0; level <= 9; level++ {
-		gz, err := Compress(data, level)
-		if err != nil {
-			t.Fatal(err)
-		}
+		gz := gzCorpus(t, 6000, 76, level)
 		std, err := stdGunzip(gz)
 		if err != nil {
 			t.Fatalf("level %d: stdlib: %v", level, err)

@@ -7,7 +7,6 @@ import (
 	"testing"
 
 	pugz "repro"
-	"repro/internal/fastq"
 )
 
 // trackingReaderAt counts the bytes read through it, so tests can
@@ -31,12 +30,7 @@ func (t *trackingReaderAt) ReadAt(p []byte, off int64) (int, error) {
 
 func fileFixture(t *testing.T) (data, gz []byte) {
 	t.Helper()
-	data = fastq.Generate(fastq.GenOptions{Reads: 12000, Seed: 99})
-	gz, err := pugz.Compress(data, 6)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return data, gz
+	return extFastq(12000, 99), extGz(t, 12000, 99, 6)
 }
 
 // TestFileReadAtMatchesGunzip is the acceptance property: positional
@@ -204,16 +198,8 @@ func TestFileReadSeek(t *testing.T) {
 // boundary: the decompressed address space concatenates members,
 // exactly like gunzip output.
 func TestFileMultiMember(t *testing.T) {
-	a := fastq.Generate(fastq.GenOptions{Reads: 3000, Seed: 1})
-	b := fastq.Generate(fastq.GenOptions{Reads: 3000, Seed: 2})
-	gzA, err := pugz.Compress(a, 6)
-	if err != nil {
-		t.Fatal(err)
-	}
-	gzB, err := pugz.Compress(b, 6)
-	if err != nil {
-		t.Fatal(err)
-	}
+	a, b := extFastq(3000, 1), extFastq(3000, 2)
+	gzA, gzB := extGz(t, 3000, 1, 6), extGz(t, 3000, 2, 6)
 	gz := append(append([]byte{}, gzA...), gzB...)
 	want := append(append([]byte{}, a...), b...)
 
@@ -245,11 +231,7 @@ func TestFileMultiMember(t *testing.T) {
 // a true io.ReaderAt: same result as the slice-based RandomAccess, and
 // only a bounded prefix of the compressed tail is ever loaded.
 func TestFileRandomAccessAt(t *testing.T) {
-	data := fastq.Generate(fastq.GenOptions{Reads: 40000, Seed: 23})
-	gz, err := pugz.Compress(data, 6)
-	if err != nil {
-		t.Fatal(err)
-	}
+	gz := extGz(t, 40000, 23, 6)
 	from := int64(len(gz) / 3)
 	const maxOut = 256 << 10
 

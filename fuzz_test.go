@@ -52,6 +52,18 @@ func fuzzSeeds(f *testing.F) [][]byte {
 	m2, _ := Compress(big, 9)
 	multi := append(append(append([]byte{}, m1...), empty...), m2...)
 	add(multi)
+	// Skip-mode seed: large enough output (~44 KiB) that a deep
+	// File.ReadAt exercises the tail-only translation-free skip, at the
+	// stored-heavy level where block starts are padding-ambiguous.
+	var wide []byte
+	for i := 0; i < 768; i++ {
+		wide = append(wide, text...)
+	}
+	skipSeed, err := Compress(wide, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	add(skipSeed)
 	// Damaged variants: truncation, a flipped payload byte, a flipped
 	// trailer byte, garbage after a valid member.
 	add(m2[:len(m2)/2])
@@ -107,7 +119,54 @@ func FuzzDecompress(f *testing.F) {
 			})
 			return out, err
 		})
+		fuzzSkipMode(t, data)
 	})
+}
+
+// fuzzSkipMode drives the tail-only skip path on stdlib-valid inputs:
+// a deep ReadAt (translation-free skip to ~80% of the output) and a
+// Size() measuring pass must agree with the oracle, and no input may
+// panic the skip machinery.
+func fuzzSkipMode(t *testing.T, data []byte) {
+	if len(data) > fuzzInputLimit {
+		return
+	}
+	want, err := stdGunzip(data)
+	if err != nil || len(want) < 4096 {
+		// Outputs below one read have nothing to skip: the deep-seek
+		// path degenerates to the plain cursor already fuzzed above.
+		return
+	}
+	f, err := NewFileBytes(data, FileOptions{
+		Threads:              2,
+		BatchCompressedBytes: 16 << 10,
+		MinChunk:             4 << 10,
+	})
+	if err != nil {
+		return // framing the stdlib tolerates but pugz rejects (flags)
+	}
+	defer f.Close()
+	off := int64(len(want)) * 4 / 5
+	p := make([]byte, min(4096, len(want)-int(off)))
+	if _, err := f.ReadAt(p, off); err != nil && err != io.EOF {
+		if errors.Is(err, gzipx.ErrBadFlags) {
+			return // a later member uses reserved flags pugz rejects
+		}
+		t.Fatalf("skip-mode ReadAt(%d): %v", off, err)
+	}
+	if !bytes.Equal(p, want[off:off+int64(len(p))]) {
+		t.Fatalf("skip-mode ReadAt(%d): mismatch vs stdlib", off)
+	}
+	size, err := f.Size()
+	if err != nil {
+		if errors.Is(err, gzipx.ErrBadFlags) {
+			return
+		}
+		t.Fatalf("skip-mode Size: %v", err)
+	}
+	if size != int64(len(want)) {
+		t.Fatalf("skip-mode Size = %d, want %d", size, len(want))
+	}
 }
 
 func FuzzNewReader(f *testing.F) {

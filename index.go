@@ -2,6 +2,7 @@ package pugz
 
 import (
 	"io"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/gzindex"
@@ -58,9 +59,15 @@ func buildIndexStream(src io.Reader, spacing int64, o StreamOptions) (*Index, *i
 	payloadOff := int64(m.HeaderLen)
 	inner := &gzindex.Index{}
 	res, err := p.RunMemberOpts(core.MemberRun{
-		// The output itself is discarded batch by batch; only the
-		// checkpoint windows survive.
+		// The output is never materialised at all: SkipTo past
+		// everything makes each batch a tail-only measuring pass
+		// (O(32 KiB) per chunk), and ExactCheckpoints re-derives the
+		// spacing-exact boundary windows the zran contract requires, so
+		// the built index still marshals byte-identically to the
+		// sequential gzindex.Build.
 		Emit:              func([]byte) error { return nil },
+		SkipTo:            math.MaxInt64,
+		ExactCheckpoints:  true,
 		CheckpointSpacing: spacing,
 		OnCheckpoint: func(cp core.Checkpoint) error {
 			inner.Checkpoints = append(inner.Checkpoints, gzindex.Checkpoint{

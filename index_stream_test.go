@@ -43,19 +43,11 @@ func slurpIndexBlob(t *testing.T, gz []byte, spacing int64) []byte {
 // sequential slurp build, across compression levels, thread counts,
 // batch sizes, and multi-member corpora (both index the first member).
 func TestStreamIndexByteIdenticalToSlurp(t *testing.T) {
-	data := genFastq(9000, 711)
 	corpora := map[string][]byte{}
 	for _, level := range []int{1, 6, 9} {
-		gz, err := Compress(data, level)
-		if err != nil {
-			t.Fatal(err)
-		}
-		corpora[map[int]string{1: "level1", 6: "level6", 9: "level9"}[level]] = gz
+		corpora[map[int]string{1: "level1", 6: "level6", 9: "level9"}[level]] = gzCorpus(t, 9000, 711, level)
 	}
-	second, err := Compress(genFastq(2000, 712), 6)
-	if err != nil {
-		t.Fatal(err)
-	}
+	second := gzCorpus(t, 2000, 712, 6)
 	corpora["multimember"] = append(append([]byte{}, corpora["level6"]...), second...)
 
 	const spacing = 128 << 10
@@ -168,11 +160,8 @@ func TestIndexFromReaderBoundedMemory(t *testing.T) {
 // TestFileBuildIndex: the File-native streaming build must attach the
 // index (bounding subsequent reads) and match the whole-file build.
 func TestFileBuildIndex(t *testing.T) {
-	data := genFastq(12000, 714)
-	gz, err := Compress(data, 6)
-	if err != nil {
-		t.Fatal(err)
-	}
+	data := genFastq(15000, 71)
+	gz := gzCorpus(t, 15000, 71, 6)
 	src := &countingReaderAt{data: gz}
 	f, err := NewFile(src, int64(len(gz)), FileOptions{Threads: 2, MinChunk: 16 << 10})
 	if err != nil {
@@ -259,11 +248,8 @@ func (c *countingReaderAt) min() int64 {
 // restart points, and a second deep seek must resume from one instead
 // of re-decoding the file from the start.
 func TestFileAutoIndexDeepSeeks(t *testing.T) {
-	data := genFastq(20000, 715)
-	gz, err := Compress(data, 6)
-	if err != nil {
-		t.Fatal(err)
-	}
+	data := genFastq(20000, 8)
+	gz := gzCorpus(t, 20000, 8, 6)
 	src := &countingReaderAt{data: gz}
 	f, err := NewFile(src, int64(len(gz)), FileOptions{
 		Threads:              3,
@@ -308,11 +294,8 @@ func TestFileAutoIndexDeepSeeks(t *testing.T) {
 // break — one deep seek, then an ascending scan from there (cursor
 // reuse), then a read past EOF.
 func TestFileDeepSeekThenAscending(t *testing.T) {
-	data := genFastq(15000, 716)
-	gz, err := Compress(data, 6)
-	if err != nil {
-		t.Fatal(err)
-	}
+	data := genFastq(15000, 71)
+	gz := gzCorpus(t, 15000, 71, 6)
 	f, err := NewFileBytes(gz, FileOptions{
 		Threads:              2,
 		BatchCompressedBytes: 256 << 10,
@@ -352,11 +335,8 @@ func TestFileDeepSeekThenAscending(t *testing.T) {
 // cursor's worker goroutine while other readers query it. Run under
 // -race (the tier-1 gate does).
 func TestFileConcurrentReadAtAutoIndex(t *testing.T) {
-	data := genFastq(15000, 717)
-	gz, err := Compress(data, 6)
-	if err != nil {
-		t.Fatal(err)
-	}
+	data := genFastq(15000, 71)
+	gz := gzCorpus(t, 15000, 71, 6)
 	f, err := NewFileBytes(gz, FileOptions{
 		Threads:              2,
 		BatchCompressedBytes: 256 << 10,

@@ -121,20 +121,30 @@ func (f *Finder) NextBefore(data []byte, fromBit, limitBit int64) (int64, error)
 }
 
 // confirmFrom decodes up to f.Confirmations more blocks at the
-// reader's current position. Reaching the end of the stream (a final
-// block) during confirmation counts as success: we are synced.
+// reader's current position. Reaching the stream's final block during
+// confirmation counts as success: we are synced at the end.
+//
+// Running out of data WITHOUT having seen a final block does not: a
+// real DEFLATE stream always ends in a BFINAL block, so "blocks
+// consumed exactly to the end of data, none final" means either the
+// buffer is a window cut mid-stream (the caller will grow it and
+// retry) or — the dangerous case — the candidate sits inside the
+// byte-alignment padding of a final *stored* block, where the shifted
+// header reads BFINAL=0 and the decode silently drops the final flag.
+// Confirming such a candidate used to send the engine decoding past
+// the end of the stream on stored-heavy (level-0) inputs.
 func (f *Finder) confirmFrom(data []byte) bool {
 	var sink discard
 	for i := 0; i < f.Confirmations; i++ {
-		if f.reader.Len() <= 0 {
-			return true // clean end of data while synced
-		}
 		final, err := f.confirm.DecodeBlock(f.reader, sink)
 		if err != nil {
 			return false
 		}
 		if final {
 			return true
+		}
+		if f.reader.Len() <= 0 {
+			return false // end of data, no final block: not synced
 		}
 	}
 	return true

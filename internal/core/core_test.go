@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 
 	"repro/internal/deflate"
@@ -17,6 +18,55 @@ func mustCompress(t *testing.T, data []byte, level int) []byte {
 		t.Fatal(err)
 	}
 	return payload
+}
+
+// --- Cached test corpora ----------------------------------------------
+//
+// Generating FASTQ corpora and compressing them with this repository's
+// own (deliberately simple) DEFLATE writer is the most expensive part
+// of this package's suite — and under -race on a small CI box it used
+// to dominate the group's runtime, because every test regenerated its
+// own near-identical corpus. Tests that just need "a corpus" share
+// these memoized fixtures instead; generation is deterministic, the
+// data is treated as read-only, and each (shape, level) pair is built
+// exactly once per test binary.
+
+var (
+	corpusMu  sync.Mutex
+	corpusRaw = map[[2]int64][]byte{}
+	corpusPay = map[[3]int64][]byte{}
+)
+
+// corpusFastq returns the cached FASTQ corpus for (reads, seed).
+func corpusFastq(reads int, seed int64) []byte {
+	corpusMu.Lock()
+	defer corpusMu.Unlock()
+	key := [2]int64{int64(reads), seed}
+	if b, ok := corpusRaw[key]; ok {
+		return b
+	}
+	b := fastq.Generate(fastq.GenOptions{Reads: reads, Seed: seed})
+	corpusRaw[key] = b
+	return b
+}
+
+// corpusPayload returns the cached DEFLATE payload of corpusFastq at
+// the given level.
+func corpusPayload(t testing.TB, reads int, seed int64, level int) []byte {
+	t.Helper()
+	data := corpusFastq(reads, seed)
+	corpusMu.Lock()
+	defer corpusMu.Unlock()
+	key := [3]int64{int64(reads), seed, int64(level)}
+	if p, ok := corpusPay[key]; ok {
+		return p
+	}
+	p, err := deflate.Compress(data, level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpusPay[key] = p
+	return p
 }
 
 // TestParallelMatchesSequential is the headline exactness property:

@@ -30,12 +30,22 @@ type chunk struct {
 	// pass-1 results
 	plain     []byte   // exact chunks (known initial context)
 	plainBuf  []byte   // pooled backing of plain (context prefix included)
-	sym       []uint16 // symbolic chunks (undetermined context)
+	sym       []uint16 // symbolic chunks: full output, or trailing window (tailed)
 	symRes    *tracked.Result
+	plainTail []byte // exact tail-only chunks: resolved final window (pooled)
+	tailed    bool   // pass 1 ran tail-only: counts and windows, no output
+	outN      int64  // output length (exact in every mode)
 	endBit    int64
 	final     bool
 	firstSpan *flate.BlockSpan // first decoded block (symbolic chunks)
 	spans     []flate.BlockSpan
+
+	// Online-captured checkpoint windows (first chunk of a cpExact
+	// skip segment: its spacing walk is fully determined before pass 1,
+	// so the decode pass harvests the windows itself).
+	capOuts []int64
+	capBits []int64
+	capWins [][]byte
 
 	ctx []byte // resolved initial context (pass 2)
 	out int64  // offset of this chunk's bytes in the segment output
@@ -43,12 +53,7 @@ type chunk struct {
 	m ChunkMetrics
 }
 
-func (c *chunk) outLen() int64 {
-	if c.plain != nil {
-		return int64(len(c.plain))
-	}
-	return int64(len(c.sym))
-}
+func (c *chunk) outLen() int64 { return c.outN }
 
 // releaseScratch returns the chunk's pass-1 buffers to their pools.
 // Safe to call twice; called after translation and on every failure
@@ -62,6 +67,10 @@ func (c *chunk) releaseScratch() {
 	if c.plainBuf != nil {
 		putPlainBuf(c.plainBuf)
 		c.plainBuf, c.plain = nil, nil
+	}
+	if c.plainTail != nil {
+		tracked.PutWindow(c.plainTail)
+		c.plainTail = nil
 	}
 }
 
@@ -105,6 +114,14 @@ type segOpts struct {
 	// propagates context windows. Segments that reach skipBelow
 	// translate in full.
 	skipBelow int64
+	// tailOnly runs pass 1 through the tail-only sinks: each chunk
+	// keeps a running count plus its trailing 32 KiB (the only part
+	// pass 2 touches for skipped output) instead of materialising the
+	// full symbolic buffer — O(WindowSize) memory per chunk. If the
+	// segment turns out to reach skipBelow after all, pass 1 is re-run
+	// with full buffers; only the one segment straddling a skip target
+	// ever pays that.
+	tailOnly bool
 	// recordSpans collects every block boundary into segment.spans.
 	recordSpans bool
 	// chunkStarts collects chunk-start checkpoints (with copied context
@@ -113,6 +130,12 @@ type segOpts struct {
 	// the spacing filter would discard are never copied.
 	chunkStarts bool
 	startsFrom  int64
+	// cpExact harvests spacing-exact block-boundary checkpoints (the
+	// zran contract) from skipped segments into segment.starts, via a
+	// bounded exact re-decode per chunk that owns a selected boundary.
+	// Takes precedence over chunkStarts.
+	cpExact   bool
+	cpSpacing int64
 }
 
 // release returns the segment's pooled resources (the resolved window)
@@ -138,16 +161,69 @@ func decodeSegment(payload []byte, startBit int64, spanBytes int64, ctx []byte, 
 
 	// --- Sync: locate one confirmed block start per chunk boundary.
 	tSync := time.Now()
-	chunks, err := planSegment(payload, startBit, spanBytes, o)
+	planned, err := planSegment(payload, startBit, spanBytes, o)
 	if err != nil {
 		return nil, err
 	}
 	seg.syncWall = time.Since(tSync)
 
-	// On any failure below, hand every chunk's pass-1 scratch back to
-	// the pools: the streaming caller retries failed segments with a
-	// larger window, so the failure path is as hot as the success path.
-	fail := func(err error) (*segment, error) {
+	// --- Pass 1 (+ trim + continuity).
+	chunks, err := seg.runPasses(payload, planned, ctx, o, so, so.tailOnly)
+	if err != nil {
+		return nil, err
+	}
+	if so.tailOnly {
+		var total int64
+		for _, c := range chunks {
+			total += c.outN
+		}
+		if so.skipBelow <= 0 || total > so.skipBelow {
+			// The segment reaches output that must be translated, which
+			// tail-only pass 1 cannot feed: decode it again with full
+			// buffers. Only the one segment that straddles a skip target
+			// pays this; fully skipped segments never re-run.
+			for _, c := range chunks {
+				c.releaseScratch()
+			}
+			fresh := make([]*chunk, len(planned))
+			for i, c := range planned {
+				fresh[i] = &chunk{startBit: c.startBit, stopBit: c.stopBit, last: c.last,
+					m: ChunkMetrics{StartBit: c.startBit, Find: c.m.Find}}
+			}
+			seg.final = false
+			if chunks, err = seg.runPasses(payload, fresh, ctx, o, so, false); err != nil {
+				return nil, err
+			}
+		}
+	}
+	seg.chunks = chunks
+	seg.endBit = chunks[len(chunks)-1].endBit
+
+	// --- Pass 2: resolve windows sequentially, translate in parallel.
+	// resolveSegment owns scratch release from here on; on failure it
+	// leaves releaseScratch to us (idempotent for what it already
+	// returned).
+	if err := resolveSegment(payload, seg, ctx, o.Sequential, so); err != nil {
+		for _, c := range chunks {
+			c.releaseScratch()
+		}
+		return nil, err
+	}
+	if so.recordSpans && seg.out != nil {
+		// Spans feed the spacing-exact checkpoint walk, which only runs
+		// over translated segments (skipped ones use seg.starts).
+		collectSpans(seg)
+	}
+	return seg, nil
+}
+
+// runPasses runs pass 1 over the planned chunks, trims past the member
+// end, and verifies continuity, returning the live chunk list. On any
+// failure every chunk's pass-1 scratch is back in the pools: the
+// streaming caller retries failed segments with a larger window, so
+// the failure path is as hot as the success path.
+func (seg *segment) runPasses(payload []byte, chunks []*chunk, ctx []byte, o Options, so segOpts, tailOnly bool) ([]*chunk, error) {
+	fail := func(err error) ([]*chunk, error) {
 		for _, c := range chunks {
 			c.releaseScratch()
 		}
@@ -158,10 +234,10 @@ func decodeSegment(payload []byte, startBit int64, spanBytes int64, ctx []byte, 
 	// exactly (its context is known); later chunks decode with symbolic
 	// contexts.
 	tP1 := time.Now()
-	if err := runPass1(payload, chunks, ctx, o.Sequential, so.recordSpans); err != nil {
+	if err := runPass1(payload, chunks, ctx, o.Sequential, so.recordSpans, tailOnly, so); err != nil {
 		return fail(err)
 	}
-	seg.pass1Wall = time.Since(tP1)
+	seg.pass1Wall += time.Since(tP1)
 
 	// Trim chunks past the end of the member: when the input buffer
 	// extends beyond one DEFLATE stream (a multi-member gzip file, or
@@ -203,20 +279,7 @@ func decodeSegment(payload []byte, startBit int64, spanBytes int64, ctx []byte, 
 				i, chunks[i].endBit, i+1, chunks[i+1].startBit, err))
 		}
 	}
-	seg.chunks = chunks
-	seg.endBit = chunks[len(chunks)-1].endBit
-
-	// --- Pass 2: resolve windows sequentially, translate in parallel.
-	// resolveSegment owns scratch release from here on.
-	if err := resolveSegment(seg, ctx, o.Sequential, so); err != nil {
-		return fail(err)
-	}
-	if so.recordSpans && seg.out != nil {
-		// Spans feed the spacing-exact checkpoint walk, which only runs
-		// over translated segments (skipped ones use seg.starts).
-		collectSpans(seg)
-	}
-	return seg, nil
+	return chunks, nil
 }
 
 // collectSpans flattens the per-chunk block spans into one in-order
@@ -372,16 +435,23 @@ func forEachChunk(sequential bool, lo, hi int, fn func(int)) {
 // runPass1 decompresses all chunks. The first chunk's initial context
 // is known — ctx when mid-stream, empty at the true stream start — so
 // it decodes exactly into bytes; the rest decode with fully
-// undetermined symbolic contexts.
-func runPass1(payload []byte, chunks []*chunk, ctx []byte, sequential bool, recordSpans bool) error {
+// undetermined symbolic contexts. In tailOnly mode every chunk keeps
+// only its output count and trailing window (skip-mode pass 1), and
+// when the segment harvests exact checkpoints the first chunk also
+// snapshots its own checkpoint windows on the fly (its spacing walk
+// depends only on so.startsFrom, known before the decode starts).
+func runPass1(payload []byte, chunks []*chunk, ctx []byte, sequential bool, recordSpans, tailOnly bool, so segOpts) error {
 	errs := make([]error, len(chunks))
 	forEachChunk(sequential, 0, len(chunks), func(i int) {
 		c := chunks[i]
 		t := time.Now()
-		if i == 0 {
+		switch {
+		case i == 0 && tailOnly:
+			errs[i] = c.decodePlainTail(payload, ctx, recordSpans, so)
+		case i == 0:
 			errs[i] = c.decodePlain(payload, ctx, recordSpans)
-		} else {
-			errs[i] = c.decodeTracked(payload)
+		default:
+			errs[i] = c.decodeTracked(payload, tailOnly)
 		}
 		c.m.Pass1 = time.Since(t)
 		c.m.EndBit = c.endBit
@@ -466,19 +536,84 @@ func (c *chunk) decodePlain(payload []byte, ctx []byte, recordSpans bool) error 
 		c.endBit = r.BitPos()
 	}
 	c.spans = sink.Blocks
-	c.m.OutBytes = int64(len(c.plain))
+	c.outN = int64(len(c.plain))
+	c.m.OutBytes = c.outN
 	return nil
 }
 
-func (c *chunk) decodeTracked(payload []byte) error {
+// decodePlainTail is decodePlain for skip mode: same exact decode (the
+// initial context is known), but only the output count, block spans,
+// and the resolved final window are kept — O(WindowSize) memory no
+// matter how large the chunk's output is.
+func (c *chunk) decodePlainTail(payload []byte, ctx []byte, recordSpans bool, so segOpts) error {
+	r, err := bitio.NewReaderAt(payload, c.startBit)
+	if err != nil {
+		return err
+	}
+	sink := flate.NewTailSink(ctx)
+	defer sink.Release()
+	if recordSpans {
+		sink.RecordBlocks()
+	}
+	if so.cpExact && so.cpSpacing > 0 {
+		// The first chunk's checkpoint walk is known before decoding:
+		// harvest its windows in this very pass instead of re-decoding.
+		sink.CaptureEvery(so.startsFrom, so.cpSpacing)
+	}
+	dec := flate.GetDecoder(flate.Options{})
+	defer flate.PutDecoder(dec)
+	if ctx == nil {
+		dec.SetTrackStart(true)
+	}
+	v := flate.Visitor(sink)
+	var stopper *stopAt
+	if !c.last {
+		stopper = &stopAt{inner: sink, stopBit: c.stopBit, stoppedAt: -1}
+		v = stopper
+	}
+	for {
+		final, err := dec.DecodeBlock(r, v)
+		if err != nil {
+			if errors.Is(err, flate.Stop) {
+				break
+			}
+			return fmt.Errorf("core: chunk at bit %d: %w", c.startBit, err)
+		}
+		if final {
+			c.final = true
+			break
+		}
+	}
+	c.plainTail = tracked.GetWindow()
+	sink.WindowInto(c.plainTail)
+	c.tailed = true
+	c.capWins = sink.Captured()
+	c.capOuts, c.capBits = sink.WalkMarks()
+	if stopper != nil && stopper.stoppedAt >= 0 {
+		c.endBit = stopper.stoppedAt
+	} else {
+		c.endBit = r.BitPos()
+	}
+	c.spans = sink.Blocks
+	c.outN = sink.Len()
+	c.m.OutBytes = c.outN
+	return nil
+}
+
+func (c *chunk) decodeTracked(payload []byte, tailOnly bool) error {
 	stop := c.stopBit
 	if c.last {
 		stop = 0
 	}
-	res, err := tracked.DecodeFrom(payload, c.startBit, tracked.DecodeOptions{
-		StopBit:     stop,
-		RecordSpans: true,
-	})
+	opts := tracked.DecodeOptions{StopBit: stop, RecordSpans: true}
+	var res *tracked.Result
+	var err error
+	if tailOnly {
+		res, err = tracked.DecodeTailFrom(payload, c.startBit, opts)
+		c.tailed = true
+	} else {
+		res, err = tracked.DecodeFrom(payload, c.startBit, opts)
+	}
 	if err != nil {
 		return err
 	}
@@ -490,7 +625,10 @@ func (c *chunk) decodeTracked(payload []byte) error {
 	if len(res.Spans) > 0 {
 		c.firstSpan = &res.Spans[0]
 	}
-	c.m.OutBytes = int64(len(c.sym))
+	c.outN = res.OutLen
+	c.m.OutBytes = c.outN
+	// In tail mode only the trailing window survives, so this counts
+	// symbols still unresolved there (skip-mode metrics are advisory).
 	c.m.SymbolsUnresolved = int64(tracked.CountUndetermined(res.Out))
 	return nil
 }
@@ -554,7 +692,7 @@ func (p *probeSink) BlockEnd(nextBit int64) error         { p.endBit = nextBit; 
 // the output allocation are elided: seg.out stays nil and only
 // seg.outLen and the propagated windows survive — the two-pass skip
 // that makes deep seeks cheap.
-func resolveSegment(seg *segment, ctx []byte, sequential bool, so segOpts) error {
+func resolveSegment(payload []byte, seg *segment, ctx []byte, sequential bool, so segOpts) error {
 	chunks := seg.chunks
 
 	// Layout: prefix sums of chunk output sizes.
@@ -572,7 +710,10 @@ func resolveSegment(seg *segment, ctx []byte, sequential bool, so segOpts) error
 
 	// Pass 2a (sequential): propagate resolved windows. Every window in
 	// the chain is pooled except the caller's own ctx; the final one is
-	// handed to the caller as seg.window.
+	// handed to the caller as seg.window. Tail-only chunks feed the
+	// chain just as well as full ones: a plain tail chunk carries its
+	// resolved final window outright, and a symbolic tail chunk's
+	// trailing symbols are exactly what ResolveWindowInto consumes.
 	releaseChain := func() {
 		for _, c := range chunks {
 			if len(ctx) == 0 || len(c.ctx) == 0 || &c.ctx[0] != &ctx[0] {
@@ -590,9 +731,12 @@ func resolveSegment(seg *segment, ctx []byte, sequential bool, so segOpts) error
 		c.ctx = w
 		next := tracked.GetWindow()
 		var err error
-		if c.plain != nil {
+		switch {
+		case c.plainTail != nil:
+			copy(next, c.plainTail)
+		case c.plain != nil:
 			shiftWindow(next, w, c.plain)
-		} else {
+		default:
 			err = tracked.ResolveWindowInto(next, c.sym, w)
 		}
 		if err != nil {
@@ -604,18 +748,31 @@ func resolveSegment(seg *segment, ctx []byte, sequential bool, so segOpts) error
 	}
 	seg.pass2SeqWall = time.Since(tSeq)
 
-	// Skipped segments retain their chunk starts as restart points: the
-	// chunk's start bit is a confirmed block boundary and c.ctx is
-	// exactly the resolved 32 KiB preceding it — a free checkpoint per
-	// chunk, harvested while the windows are still alive.
-	if !translate && so.chunkStarts {
-		for _, c := range chunks {
-			if c.out < so.startsFrom {
-				continue
+	// Skipped segments harvest restart points while the chain's windows
+	// are still alive: spacing-exact block boundaries when the caller
+	// needs the zran contract (index builds), otherwise the free
+	// chunk-start checkpoints (each chunk's start bit is a confirmed
+	// block boundary and c.ctx the resolved 32 KiB preceding it).
+	if !translate {
+		switch {
+		case so.cpExact && so.cpSpacing > 0:
+			if err := captureExactCheckpoints(payload, seg, sequential, so); err != nil {
+				releaseChain()
+				for _, c := range chunks {
+					c.releaseScratch()
+				}
+				tracked.PutWindow(w)
+				return err
 			}
-			win := make([]byte, tracked.WindowSize)
-			copy(win, c.ctx)
-			seg.starts = append(seg.starts, Checkpoint{Bit: c.startBit, Out: c.out, Window: win})
+		case so.chunkStarts:
+			for _, c := range chunks {
+				if c.out < so.startsFrom {
+					continue
+				}
+				win := make([]byte, tracked.WindowSize)
+				copy(win, c.ctx)
+				seg.starts = append(seg.starts, Checkpoint{Bit: c.startBit, Out: c.out, Window: win})
+			}
 		}
 	}
 
@@ -626,9 +783,14 @@ func resolveSegment(seg *segment, ctx []byte, sequential bool, so segOpts) error
 		forEachChunk(sequential, 0, len(chunks), func(i int) {
 			c := chunks[i]
 			t := time.Now()
-			if c.plain != nil {
+			switch {
+			case c.tailed:
+				// decodeSegment re-runs pass 1 in full before translating
+				// a tail segment; reaching here is an engine bug.
+				errs[i] = errors.New("core: internal: translating a tail-only chunk")
+			case c.plain != nil:
 				copy(out[c.out:], c.plain)
-			} else {
+			default:
 				dst := out[c.out : c.out+int64(len(c.sym))]
 				if _, err := tracked.Resolve(c.sym, c.ctx, dst); err != nil {
 					errs[i] = err
@@ -653,6 +815,132 @@ func resolveSegment(seg *segment, ctx []byte, sequential bool, so segOpts) error
 	seg.out = out
 	seg.window = w
 	return nil
+}
+
+// captureExactCheckpoints harvests spacing-exact block-boundary
+// checkpoints from a skipped (tail-only) segment. Selection replays
+// the exact walk the translated path and the sequential zran build
+// use — the first boundary at or past the running target, then
+// target = boundary + spacing — over the per-chunk block spans that
+// tail-only pass 1 recorded.
+//
+// The same rule lives in two more places that must stay in lock-step:
+// flate.TailSink.CaptureEvery (the first chunk's online harvest, which
+// the cross-check below verifies against this walk at runtime) and the
+// re-filter in pipeline.go's emitCheckpoints (which must select every
+// entry this walk emits, or windows get captured and silently
+// dropped). Change one, change all three. The windows are then materialised by one
+// exact forward re-decode per chunk that owns a selected boundary
+// (its resolved initial context is known after pass 2a), stopping at
+// the chunk's last selected boundary. Chunks with no selected
+// boundary pay nothing, and memory stays O(WindowSize) per chunk.
+func captureExactCheckpoints(payload []byte, seg *segment, sequential bool, so segOpts) error {
+	chunks := seg.chunks
+	type capturePlan struct {
+		targets []int64 // chunk-relative output offsets of selected boundaries
+		bits    []int64 // normalized payload bit offsets of those boundaries
+	}
+	plans := make([]capturePlan, len(chunks))
+	next := so.startsFrom
+	selected := 0
+	for i, c := range chunks {
+		for j, s := range c.spans {
+			segRel := c.out + s.OutStart
+			if segRel < next {
+				continue
+			}
+			bit := s.Event.StartBit
+			if j == 0 && i > 0 {
+				// Stored-block padding makes a candidate start bit
+				// ambiguous; a sequential decode reports the
+				// predecessor's stop position (see collectSpans).
+				bit = chunks[i-1].endBit
+			}
+			plans[i].targets = append(plans[i].targets, s.OutStart)
+			plans[i].bits = append(plans[i].bits, bit)
+			next = segRel + so.cpSpacing
+			selected++
+		}
+	}
+	if selected == 0 {
+		return nil
+	}
+	wins := make([][][]byte, len(chunks))
+	errs := make([]error, len(chunks))
+	forEachChunk(sequential, 0, len(chunks), func(i int) {
+		if len(plans[i].targets) == 0 {
+			return
+		}
+		c := chunks[i]
+		if i == 0 && c.capWins != nil {
+			// The first chunk harvested its windows online during pass 1;
+			// cross-check its walk against the span walk before trusting
+			// them (they replay the same rule over the same boundaries).
+			if len(c.capOuts) != len(plans[0].targets) {
+				errs[0] = fmt.Errorf("core: online capture took %d windows, walk selected %d",
+					len(c.capOuts), len(plans[0].targets))
+				return
+			}
+			for k, out := range c.capOuts {
+				if out != plans[0].targets[k] || c.capBits[k] != plans[0].bits[k] {
+					errs[0] = fmt.Errorf("core: online capture %d at (out %d, bit %d), walk selected (out %d, bit %d)",
+						k, out, c.capBits[k], plans[0].targets[k], plans[0].bits[k])
+					return
+				}
+			}
+			wins[0] = c.capWins
+			return
+		}
+		wins[i], errs[i] = c.captureWindows(payload, plans[i].targets)
+	})
+	if err := errors.Join(errs...); err != nil {
+		return err
+	}
+	for i, c := range chunks {
+		for k, win := range wins[i] {
+			seg.starts = append(seg.starts, Checkpoint{
+				Bit:    plans[i].bits[k],
+				Out:    c.out + plans[i].targets[k],
+				Window: win,
+			})
+		}
+	}
+	return nil
+}
+
+// captureWindows re-decodes the chunk exactly (pass 2a resolved its
+// initial context) up to the last target offset, snapshotting the
+// 32 KiB history window at each target block boundary. targets are
+// strictly ascending chunk-relative output offsets of block starts.
+func (c *chunk) captureWindows(payload []byte, targets []int64) ([][]byte, error) {
+	r, err := bitio.NewReaderAt(payload, c.startBit)
+	if err != nil {
+		return nil, err
+	}
+	sink := flate.NewTailSink(c.ctx)
+	defer sink.Release()
+	sink.CaptureAt(targets)
+	last := targets[len(targets)-1]
+	sink.Limit = last
+	dec := flate.GetDecoder(flate.Options{})
+	defer flate.PutDecoder(dec)
+	for sink.Len() < last {
+		final, err := dec.DecodeBlock(r, sink)
+		if err != nil {
+			if errors.Is(err, flate.Stop) {
+				break
+			}
+			return nil, fmt.Errorf("core: window capture at bit %d: %w", c.startBit, err)
+		}
+		if final {
+			break
+		}
+	}
+	sink.FlushCaptures()
+	if sink.CapturesMissed() > 0 {
+		return nil, fmt.Errorf("core: window capture at bit %d stopped short of %s", c.startBit, sink.MissedCapture())
+	}
+	return sink.Captured(), nil
 }
 
 // shiftWindow fills dst with the 32 KiB window that follows producing

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"testing"
 
-	"repro/internal/fastq"
 	"repro/internal/tracked"
 )
 
@@ -12,8 +11,8 @@ import (
 // the bytes from SkipTo onward, while the decode still accounts for the
 // full member (MemberResult.Out is the total size).
 func TestRunMemberSkipTo(t *testing.T) {
-	data := fastq.Generate(fastq.GenOptions{Reads: 12000, Seed: 41})
-	payload := mustCompress(t, data, 6)
+	data := corpusFastq(12000, 41)
+	payload := corpusPayload(t, 12000, 41, 6)
 	for _, skip := range []int64{0, 1, 100_000, int64(len(data)) - 777, int64(len(data)), int64(len(data)) + 5000} {
 		p := NewPipeline(bytes.NewReader(payload), PipelineOptions{
 			Threads:              3,
@@ -49,8 +48,8 @@ func TestRunMemberSkipTo(t *testing.T) {
 // translated run must carry the true output window at their offset and
 // respect the requested spacing.
 func TestRunMemberCheckpoints(t *testing.T) {
-	data := fastq.Generate(fastq.GenOptions{Reads: 12000, Seed: 42})
-	payload := mustCompress(t, data, 6)
+	data := corpusFastq(12000, 41)
+	payload := corpusPayload(t, 12000, 41, 6)
 	const spacing = 200 << 10
 	p := NewPipeline(bytes.NewReader(payload), PipelineOptions{
 		Threads:              3,
@@ -92,14 +91,60 @@ func TestRunMemberCheckpoints(t *testing.T) {
 	}
 }
 
+// TestRunMemberExactCheckpointsSkipped: with ExactCheckpoints, a fully
+// skipped (tail-only) run must emit exactly the checkpoints a
+// translated run emits — same boundaries, same bits, same windows —
+// the property that lets index builds go translation-free without
+// changing a single marshalled byte. Stored-block-heavy input (level
+// 0) exercises the ambiguous-start-bit normalization.
+func TestRunMemberExactCheckpointsSkipped(t *testing.T) {
+	for _, level := range []int{0, 6} {
+		payload := corpusPayload(t, 5000, 41, level)
+		collect := func(skipTo int64, exact bool) []Checkpoint {
+			p := NewPipeline(bytes.NewReader(payload), PipelineOptions{
+				Threads:              3,
+				BatchCompressedBytes: 128 << 10,
+				MinChunk:             8 << 10,
+			})
+			defer p.Close()
+			var cps []Checkpoint
+			_, err := p.RunMemberOpts(MemberRun{
+				Emit:              func([]byte) error { return nil },
+				SkipTo:            skipTo,
+				ExactCheckpoints:  exact,
+				CheckpointSpacing: 96 << 10,
+				OnCheckpoint:      func(cp Checkpoint) error { cps = append(cps, cp); return nil },
+			})
+			if err != nil {
+				t.Fatalf("level %d skip %d: %v", level, skipTo, err)
+			}
+			return cps
+		}
+		want := collect(0, true)
+		got := collect(1<<60, true) // everything skipped, tail-only pass 1
+		if len(got) != len(want) {
+			t.Fatalf("level %d: %d skipped checkpoints, want %d", level, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Bit != want[i].Bit || got[i].Out != want[i].Out {
+				t.Fatalf("level %d checkpoint %d: (bit %d, out %d) vs (bit %d, out %d)",
+					level, i, got[i].Bit, got[i].Out, want[i].Bit, want[i].Out)
+			}
+			if !bytes.Equal(got[i].Window, want[i].Window) {
+				t.Fatalf("level %d checkpoint %d (out %d): window mismatch", level, i, got[i].Out)
+			}
+		}
+	}
+}
+
 // TestRunMemberResumeFromCheckpoint: a fresh pipeline positioned at a
 // checkpoint's byte, seeded with its window, must reproduce the member
 // tail exactly — the property the File cursor's auto-indexing relies
 // on. The same applies to chunk-start checkpoints harvested during a
 // skipped (translation-free) run.
 func TestRunMemberResumeFromCheckpoint(t *testing.T) {
-	data := fastq.Generate(fastq.GenOptions{Reads: 12000, Seed: 43})
-	payload := mustCompress(t, data, 6)
+	data := corpusFastq(12000, 41)
+	payload := corpusPayload(t, 12000, 41, 6)
 
 	collect := func(skipTo int64) []Checkpoint {
 		p := NewPipeline(bytes.NewReader(payload), PipelineOptions{
@@ -123,7 +168,9 @@ func TestRunMemberResumeFromCheckpoint(t *testing.T) {
 
 	for name, cps := range map[string][]Checkpoint{
 		"translated": collect(0),
-		"skipped":    collect(int64(len(data))), // whole member in skip mode: chunk-start checkpoints
+		// Whole member in skip mode (the huge target also engages the
+		// tail-only sinks): chunk-start checkpoints.
+		"skipped": collect(1 << 60),
 	} {
 		if len(cps) < 2 {
 			t.Fatalf("%s: only %d checkpoints", name, len(cps))

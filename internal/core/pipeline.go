@@ -174,6 +174,14 @@ type MemberRun struct {
 	// run.
 	CheckpointSpacing int64
 	OnCheckpoint      func(Checkpoint) error
+
+	// ExactCheckpoints makes skipped (translation-free) batches emit
+	// the same spacing-exact block-boundary checkpoints a translated
+	// batch would — the zran contract index builds rely on — at the
+	// cost of one bounded exact re-decode per chunk owning a selected
+	// boundary. Without it, skipped batches contribute chunk-start
+	// restart points only (cheap, and all the auto-index needs).
+	ExactCheckpoints bool
 }
 
 // MemberResult reports a finished RunMemberOpts call.
@@ -215,11 +223,33 @@ func (p *Pipeline) RunMemberOpts(run MemberRun) (MemberResult, error) {
 	memberOut := run.OutBase
 	checkpointing := run.OnCheckpoint != nil && run.CheckpointSpacing > 0
 	nextCpAt := run.OutBase // first candidate boundary checkpoints immediately
+	firstBit := startBit
 	for {
-		so := segOpts{recordSpans: checkpointing, chunkStarts: checkpointing,
-			startsFrom: nextCpAt - memberOut}
+		so := segOpts{recordSpans: checkpointing, startsFrom: nextCpAt - memberOut}
+		if checkpointing {
+			if run.ExactCheckpoints {
+				so.cpExact, so.cpSpacing = true, run.CheckpointSpacing
+			} else {
+				so.chunkStarts = true
+			}
+		}
 		if run.SkipTo > memberOut {
 			so.skipBelow = run.SkipTo - memberOut
+			// Batches below the skip target can decode through the
+			// tail-only sinks: O(WindowSize) per chunk instead of the
+			// full output. A tail batch that turns out to reach the
+			// target pays a full re-decode, so engage tail mode only
+			// when the batch is clearly skippable: against DEFLATE's
+			// ~1032x worst-case expansion before any of this member has
+			// decoded (which still always selects measuring passes and
+			// index builds, whose skip target is effectively infinite),
+			// and against twice the member's observed expansion after.
+			est := int64(p.batchBytes) * 1032
+			if consumed := (startBit - firstBit) / 8; consumed > 0 && memberOut > run.OutBase {
+				ratio := (memberOut - run.OutBase + consumed - 1) / consumed
+				est = int64(p.batchBytes) * (ratio + 1) * 2
+			}
+			so.tailOnly = so.skipBelow > est
 		}
 		seg, err := p.decodeNext(startBit, ctx, so)
 		if err != nil {

@@ -5,13 +5,12 @@ import (
 	"testing"
 
 	"repro/internal/dna"
-	"repro/internal/fastq"
 )
 
 func TestStreamMatchesWholeFile(t *testing.T) {
-	data := fastq.Generate(fastq.GenOptions{Reads: 12000, Seed: 41})
+	data := corpusFastq(12000, 41)
 	for _, level := range []int{1, 6, 9} {
-		payload := mustCompress(t, data, level)
+		payload := corpusPayload(t, 12000, 41, level)
 		var got []byte
 		res, err := DecompressStream(payload, StreamOptions{
 			Threads:              4,

@@ -216,13 +216,14 @@ func (d *Decoder) DecodeBlock(r *bitio.Reader, v Visitor) (final bool, err error
 	case Stored:
 		err = d.decodeStored(r, v, BlockEvent{Type: Stored, Final: isFinal, StartBit: startBit})
 	case Fixed:
-		if err = d.litLen.Init(fixedLitLenLengths(), false); err != nil {
-			return false, fmt.Errorf("flate: fixed litlen tree: %w", err)
-		}
-		if err = d.dist.Init(fixedDistLengths(), true); err != nil {
-			return false, fmt.Errorf("flate: fixed dist tree: %w", err)
-		}
-		err = d.decodeCompressed(r, v, BlockEvent{Type: Fixed, Final: isFinal, StartBit: startBit, DataBit: r.BitPos()})
+		// The fixed trees are constants; building their tables per block
+		// used to dominate block *scanning* (every probe offset whose
+		// three header bits read BTYPE=01 paid two table builds before
+		// failing validation). They are built once and shared: Decode is
+		// read-only over an initialised table, so concurrent scanners
+		// can use them safely.
+		lit, dist := fixedTables()
+		err = d.decodeCompressedWith(r, v, BlockEvent{Type: Fixed, Final: isFinal, StartBit: startBit, DataBit: r.BitPos()}, lit, dist)
 	case Dynamic:
 		if err = d.readDynamicHeader(r); err != nil {
 			return false, err
@@ -410,15 +411,23 @@ func (d *Decoder) readDynamicHeader(r *bitio.Reader) error {
 	return nil
 }
 
-// decodeCompressed runs the token loop for a fixed or dynamic block.
+// decodeCompressed runs the token loop for a dynamic block using the
+// decoder's own (just-Initialised) trees.
 func (d *Decoder) decodeCompressed(r *bitio.Reader, v Visitor, ev BlockEvent) error {
+	return d.decodeCompressedWith(r, v, ev, &d.litLen, &d.dist)
+}
+
+// decodeCompressedWith runs the token loop for a fixed or dynamic
+// block over explicit Huffman tables (fixed blocks pass the shared
+// package-level constants).
+func (d *Decoder) decodeCompressedWith(r *bitio.Reader, v Visitor, ev BlockEvent, litLen, dist *huffman.Decoder) error {
 	if err := v.BlockStart(ev); err != nil {
 		return err
 	}
 	d.produced = 0
 	validate := d.opts.Validate
 	for {
-		sym, err := d.litLen.Decode(r)
+		sym, err := litLen.Decode(r)
 		if err != nil {
 			if validate {
 				return ErrTruncated
@@ -455,7 +464,7 @@ func (d *Decoder) decodeCompressed(r *bitio.Reader, v Visitor, ev BlockEvent) er
 			}
 			length := int(lengthBase[lsym]) + int(extra)
 
-			dsym, err := d.dist.Decode(r)
+			dsym, err := dist.Decode(r)
 			if err != nil {
 				if validate {
 					return ErrTruncated

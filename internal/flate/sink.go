@@ -76,7 +76,10 @@ func (s *ByteSink) Match(length, dist int) error {
 }
 
 func (s *ByteSink) BlockEnd(nextBit int64) error {
-	if s.record {
+	// A BlockEnd with no recorded span (a visitor driven without a
+	// prior BlockStart) is a no-op rather than a panic: span recording
+	// only ever annotates blocks it saw open.
+	if s.record && len(s.Blocks) > 0 {
 		last := &s.Blocks[len(s.Blocks)-1]
 		last.EndBit = nextBit
 		last.OutEnd = int64(len(s.Out) - s.Prefix)

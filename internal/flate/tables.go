@@ -8,6 +8,12 @@
 // (Appendix X-A of the paper).
 package flate
 
+import (
+	"sync"
+
+	"repro/internal/huffman"
+)
+
 // Block types as encoded in the 2-bit BTYPE field.
 type BlockType uint8
 
@@ -109,3 +115,27 @@ func fixedDistLengths() []uint8 {
 	}
 	return l
 }
+
+// fixedTables returns the shared decode tables of the fixed trees,
+// built on first use. They are immutable afterwards and safe for
+// concurrent Decode calls, so every decoder (and every block-scanner
+// probe, which hits BTYPE=01 on ~a quarter of all candidate bit
+// offsets) shares one copy instead of rebuilding them per block.
+func fixedTables() (litLen, dist *huffman.Decoder) {
+	fixedOnce.Do(func() {
+		var err error
+		if err = fixedLit.Init(fixedLitLenLengths(), false); err == nil {
+			err = fixedDist.Init(fixedDistLengths(), true)
+		}
+		if err != nil {
+			panic("flate: fixed trees: " + err.Error()) // static tables; cannot fail
+		}
+	})
+	return &fixedLit, &fixedDist
+}
+
+var (
+	fixedOnce sync.Once
+	fixedLit  huffman.Decoder
+	fixedDist huffman.Decoder
+)

@@ -1,0 +1,205 @@
+package flate
+
+import (
+	"fmt"
+	"sync"
+)
+
+// TailSink is a Visitor for exact decodes whose output is measured and
+// windowed but never kept: it maintains a running count plus a sliding
+// buffer holding at least the trailing WindowSize bytes, seeded with a
+// known 32 KiB history window so mid-stream back-references resolve
+// immediately. Skip-mode chunks whose initial context is already
+// resolved decode through it with O(WindowSize) memory, and the
+// checkpoint-harvest pass uses its capture hooks to snapshot the
+// history window at chosen output offsets (block boundaries).
+type TailSink struct {
+	buf   []byte
+	total int64 // bytes produced (excludes the seeded context)
+	// Blocks accumulates one span per decoded block when RecordBlocks
+	// was called.
+	Blocks []BlockSpan
+	record bool
+	// Limit, when > 0, stops decoding (with Stop) once total reaches
+	// this many bytes.
+	Limit int64
+
+	// captureAt are produced-output offsets, strictly ascending, at
+	// which the current history window is snapshotted when a block
+	// boundary lands exactly there (set via CaptureAt). Captured
+	// windows are freshly allocated WindowSize slices.
+	captureAt []int64
+	captured  [][]byte
+	ci        int
+
+	// Online capture walk (CaptureEvery): snapshot at the first block
+	// boundary at or past walkNext, then advance by walkSpacing — the
+	// same spacing rule the checkpoint emitters replay, so a chunk
+	// whose targets are known up front (the first chunk of a segment)
+	// can harvest its windows in the decoding pass itself.
+	walk        bool
+	walkNext    int64
+	walkSpacing int64
+	walkOuts    []int64
+	walkBits    []int64
+}
+
+// tailSlideBytes mirrors tracked's sliding scheme: compact once the
+// buffer would outgrow two windows, keeping the copy cost ~1 byte per
+// output byte and the working set cache-resident.
+const tailSlideBytes = 2 * WindowSize
+
+var tailBufPool = sync.Pool{
+	New: func() any { return make([]byte, 0, tailSlideBytes+MaxMatch) },
+}
+
+// NewTailSink returns a TailSink seeded with ctx (len WindowSize, or
+// nil for a zeroed window — callers decoding a stream's true start
+// combine that with Decoder.SetTrackStart so pre-start references are
+// still rejected). The buffer is pooled; hand it back with Release.
+func NewTailSink(ctx []byte) *TailSink {
+	buf := tailBufPool.Get().([]byte)
+	if cap(buf) < tailSlideBytes+MaxMatch {
+		buf = make([]byte, 0, tailSlideBytes+MaxMatch)
+	}
+	buf = buf[:WindowSize]
+	if ctx != nil {
+		copy(buf, ctx)
+	} else {
+		clear(buf)
+	}
+	return &TailSink{buf: buf}
+}
+
+// Release returns the sliding buffer to the pool. The sink must not be
+// used afterwards; captured windows remain valid (they are private
+// allocations).
+func (s *TailSink) Release() {
+	if cap(s.buf) > 0 {
+		tailBufPool.Put(s.buf[:0]) //nolint:staticcheck
+	}
+	s.buf = nil
+}
+
+// RecordBlocks enables per-block span recording.
+func (s *TailSink) RecordBlocks() { s.record = true }
+
+// Len returns the number of output bytes decoded so far.
+func (s *TailSink) Len() int64 { return s.total }
+
+// CaptureAt arms window snapshots: when a block boundary (or the final
+// FlushCaptures call) lands exactly at one of these produced-output
+// offsets, the trailing WindowSize bytes at that point are copied out.
+// Offsets must be strictly ascending.
+func (s *TailSink) CaptureAt(offsets []int64) { s.captureAt = offsets }
+
+// CaptureEvery arms the online spacing walk: a snapshot at the first
+// block boundary at or past from, then at the first boundary at least
+// spacing output bytes past each previous snapshot. Mutually exclusive
+// with CaptureAt.
+func (s *TailSink) CaptureEvery(from, spacing int64) {
+	s.walk, s.walkNext, s.walkSpacing = true, from, spacing
+}
+
+// Captured returns the snapshots taken so far, in offset order.
+func (s *TailSink) Captured() [][]byte { return s.captured }
+
+// WalkMarks returns the output offsets and block start bits of the
+// snapshots an online walk took, parallel to Captured().
+func (s *TailSink) WalkMarks() (outs, bits []int64) { return s.walkOuts, s.walkBits }
+
+// FlushCaptures takes any snapshot whose offset equals the current
+// output length — the end-of-decode case where the boundary belongs to
+// a block the decode stopped before (e.g. an empty final block).
+func (s *TailSink) FlushCaptures() { s.capture() }
+
+// WindowInto fills dst (len WindowSize) with the current history
+// window: the trailing WindowSize bytes of context ++ output.
+func (s *TailSink) WindowInto(dst []byte) {
+	copy(dst, s.buf[len(s.buf)-WindowSize:])
+}
+
+func (s *TailSink) capture() {
+	for s.ci < len(s.captureAt) && s.captureAt[s.ci] == s.total {
+		w := make([]byte, WindowSize)
+		s.WindowInto(w)
+		s.captured = append(s.captured, w)
+		s.ci++
+	}
+}
+
+// CapturesMissed reports how many armed offsets were never reached —
+// non-zero means the decode stopped short of a requested snapshot.
+func (s *TailSink) CapturesMissed() int { return len(s.captureAt) - s.ci }
+
+// MissedCapture describes the first unreached offset for error
+// reporting.
+func (s *TailSink) MissedCapture() string {
+	if s.ci >= len(s.captureAt) {
+		return ""
+	}
+	return fmt.Sprintf("offset %d (decoded %d)", s.captureAt[s.ci], s.total)
+}
+
+func (s *TailSink) slide(n int) {
+	if len(s.buf)+n <= tailSlideBytes {
+		return
+	}
+	copy(s.buf, s.buf[len(s.buf)-WindowSize:])
+	s.buf = s.buf[:WindowSize]
+}
+
+func (s *TailSink) BlockStart(ev BlockEvent) error {
+	if len(s.captureAt) > 0 {
+		s.capture()
+	}
+	if s.walk && s.total >= s.walkNext {
+		w := make([]byte, WindowSize)
+		s.WindowInto(w)
+		s.captured = append(s.captured, w)
+		s.walkOuts = append(s.walkOuts, s.total)
+		s.walkBits = append(s.walkBits, ev.StartBit)
+		s.walkNext = s.total + s.walkSpacing
+	}
+	if s.record {
+		s.Blocks = append(s.Blocks, BlockSpan{Event: ev, OutStart: s.total})
+	}
+	return nil
+}
+
+func (s *TailSink) Literal(b byte) error {
+	s.slide(1)
+	s.buf = append(s.buf, b)
+	s.total++
+	if s.Limit > 0 && s.total >= s.Limit {
+		return Stop
+	}
+	return nil
+}
+
+func (s *TailSink) Match(length, dist int) error {
+	s.slide(length)
+	n := len(s.buf)
+	src := n - dist // >= 0: at least WindowSize bytes are always retained
+	if dist >= length {
+		s.buf = append(s.buf, s.buf[src:src+length]...)
+	} else {
+		for i := 0; i < length; i++ {
+			s.buf = append(s.buf, s.buf[src+i])
+		}
+	}
+	s.total += int64(length)
+	if s.Limit > 0 && s.total >= s.Limit {
+		return Stop
+	}
+	return nil
+}
+
+func (s *TailSink) BlockEnd(nextBit int64) error {
+	if s.record && len(s.Blocks) > 0 {
+		last := &s.Blocks[len(s.Blocks)-1]
+		last.EndBit = nextBit
+		last.OutEnd = s.total
+	}
+	return nil
+}

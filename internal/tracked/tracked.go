@@ -13,6 +13,7 @@
 package tracked
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -172,20 +173,32 @@ func (s *Sink) BlockEnd(nextBit int64) error {
 
 // Result bundles a tracked decode.
 type Result struct {
-	Out    []uint16
+	// Out is the decoded symbolic stream. After DecodeFrom it is the
+	// full output; after DecodeTailFrom only the trailing
+	// min(OutLen, WindowSize) entries survive.
+	Out []uint16
+	// OutLen is the total number of output entries decoded — equal to
+	// len(Out) for a full decode, and the true (possibly much larger)
+	// output length for a tail-only decode.
+	OutLen int64
 	Spans  []flate.BlockSpan
 	EndBit int64 // bit offset after the last fully decoded block
 	Final  bool  // whether the stream's final block was reached
 
-	buf []uint16 // pooled backing of Out (context prefix included)
+	buf     []uint16 // pooled backing of Out (context prefix included)
+	tailBuf bool     // buf belongs to the tail pool, not the full-size pool
 }
 
-// Release returns the decode buffer backing Out to the package pool.
+// Release returns the decode buffer backing Out to its package pool.
 // Out (and any slice aliasing it) must not be used afterwards; Spans
 // remain valid. Calling Release twice, or on a Result that owns no
 // pooled buffer, is a no-op.
 func (r *Result) Release() {
-	putSymBuf(r.buf)
+	if r.tailBuf {
+		putTailBuf(r.buf)
+	} else {
+		putSymBuf(r.buf)
+	}
 	r.buf, r.Out = nil, nil
 }
 
@@ -236,7 +249,7 @@ func DecodeFrom(data []byte, startBit int64, opts DecodeOptions) (*Result, error
 			break
 		}
 	}
-	res := &Result{Out: sink.Out(), Spans: sink.Spans, Final: final, buf: sink.buf}
+	res := &Result{Out: sink.Out(), OutLen: int64(sink.Len()), Spans: sink.Spans, Final: final, buf: sink.buf}
 	switch {
 	case sink.StoppedAt >= 0:
 		// Halted at a successor's block start: the decoder had already
@@ -251,6 +264,12 @@ func DecodeFrom(data []byte, startBit int64, opts DecodeOptions) (*Result, error
 	return res, nil
 }
 
+// ErrSymbolRange reports a symbolic entry >= SymBase+WindowSize: no
+// decode ever produces one, so the buffer is corrupt or was paired
+// with the wrong alphabet. The translation loops below surface it as
+// an error instead of indexing out of the context.
+var ErrSymbolRange = errors.New("tracked: symbolic value out of context range")
+
 // Resolve replaces every symbolic entry of out with the corresponding
 // byte of ctx (the true initial context, len == WindowSize), writing
 // bytes into dst (allocated when nil). It is the pass-2 translation of
@@ -263,14 +282,7 @@ func Resolve(out []uint16, ctx []byte, dst []byte) ([]byte, error) {
 		dst = make([]byte, len(out))
 	}
 	dst = dst[:len(out)]
-	for i, v := range out {
-		if v < SymBase {
-			dst[i] = byte(v)
-		} else {
-			dst[i] = ctx[v-SymBase]
-		}
-	}
-	return dst, nil
+	return resolveInto(dst, out, ctx)
 }
 
 // ResolveWindow computes the resolved last-32-KiB window of a chunk's
@@ -309,15 +321,178 @@ func ResolveWindowInto(w []byte, out []uint16, ctx []byte) error {
 	return err
 }
 
+// resolveInto is the translation hot loop. Symbolic entries cluster
+// near the start of a chunk (the reach of its unknown context), so for
+// realistic streams the bulk of the buffer is all-literal runs. Both
+// kernels alternate between a packed mode — eight entries checked with
+// one OR, clean groups narrowed with a single 64-bit store — and a
+// symbolic-region mode: large buffers take one branch-free table load
+// per entry in 4096-entry blocks (resolveSpanTab), window-sized ones a
+// scalar per-entry loop in 256-entry blocks (resolveSpanScalar). In
+// both, symbols are bounds-checked so a value >= SymBase+WindowSize
+// (corrupt or mis-paired buffer) surfaces as ErrSymbolRange rather
+// than a panic.
 func resolveInto(dst []byte, out []uint16, ctx []byte) ([]byte, error) {
-	for i, v := range out {
-		if v < SymBase {
-			dst[i] = byte(v)
-		} else {
-			dst[i] = ctx[v-SymBase]
-		}
+	var bad int
+	if len(out) >= resolveTabMin {
+		// Large buffers translate symbolic regions branchlessly through
+		// a prepended-literal lookup table (33 KiB build, amortised).
+		t := getResolveTab(ctx)
+		bad = resolveSpanTab(dst, out, t[:])
+		putResolveTab(t)
+	} else {
+		bad = resolveSpanScalar(dst, out, ctx)
+	}
+	if bad >= 0 {
+		return nil, fmt.Errorf("%w: entry %d = %d", ErrSymbolRange, bad, out[bad])
 	}
 	return dst, nil
+}
+
+// resolveTabMin is the output size from which building a lookup table
+// pays for itself. Window-sized resolves (<= WindowSize entries) stay
+// on the scalar path.
+const resolveTabMin = 64 << 10
+
+// resolveTab is a translation table: 256 identity bytes (the literals)
+// followed by the 32 KiB context, so tab[v] resolves every valid entry
+// with a single load — no data-dependent branch. Recycled through a
+// small mutex-guarded freelist rather than a sync.Pool: pools are
+// emptied at every GC cycle, and the translation runs right where the
+// engine churns multi-megabyte buffers, so a pool would re-allocate
+// the table on exactly the hot path it serves.
+type resolveTab [256 + WindowSize]byte
+
+var resolveTabs struct {
+	sync.Mutex
+	free []*resolveTab
+}
+
+const resolveTabKeep = 16 // bounded retention: at most ~528 KiB parked
+
+func getResolveTab(ctx []byte) *resolveTab {
+	resolveTabs.Lock()
+	var t *resolveTab
+	if n := len(resolveTabs.free); n > 0 {
+		t = resolveTabs.free[n-1]
+		resolveTabs.free = resolveTabs.free[:n-1]
+	}
+	resolveTabs.Unlock()
+	if t == nil {
+		t = new(resolveTab)
+	}
+	for i := 0; i < 256; i++ {
+		t[i] = byte(i)
+	}
+	copy(t[256:], ctx)
+	return t
+}
+
+func putResolveTab(t *resolveTab) {
+	resolveTabs.Lock()
+	if len(resolveTabs.free) < resolveTabKeep {
+		resolveTabs.free = append(resolveTabs.free, t)
+	}
+	resolveTabs.Unlock()
+}
+
+// The two translation kernels below are call-free (errors are reported
+// as an index so the hot loops stay leaf code): the return value is
+// the index of the first out-of-range symbol, or -1 on success.
+
+// resolveSpanTab translates with the prepended-literal lookup table:
+// packed 8-wide stores through all-literal runs, and one branch-free
+// table load per entry inside symbolic regions (a large block each,
+// with packed mode re-probing between blocks — a failed probe costs a
+// single group check, so no exit bookkeeping is needed).
+func resolveSpanTab(dst []byte, out []uint16, tab []byte) int {
+	n := len(out)
+	i := 0
+	for i < n {
+		for i+8 <= n {
+			v0, v1, v2, v3 := out[i], out[i+1], out[i+2], out[i+3]
+			v4, v5, v6, v7 := out[i+4], out[i+5], out[i+6], out[i+7]
+			if v0|v1|v2|v3|v4|v5|v6|v7 >= SymBase {
+				break
+			}
+			// All-literal group: one packed store (values are < 256, so
+			// each entry's low byte is the byte).
+			u := uint64(v0) | uint64(v1)<<8 | uint64(v2)<<16 | uint64(v3)<<24 |
+				uint64(v4)<<32 | uint64(v5)<<40 | uint64(v6)<<48 | uint64(v7)<<56
+			binary.LittleEndian.PutUint64(dst[i:i+8], u)
+			i += 8
+		}
+		if i >= n {
+			break
+		}
+		end := i + 4096
+		if end > n {
+			end = n
+		}
+		o := out[i:end]
+		d := dst[i:end]
+		d = d[:len(o)] // one explicit bound so the loop stays check-free
+		for j, v := range o {
+			if int(v) >= len(tab) {
+				return i + j
+			}
+			d[j] = tab[v]
+		}
+		i = end
+	}
+	return -1
+}
+
+// resolveSpanScalar is the table-free kernel for small inputs (window
+// resolves): packed mode through literal runs, scalar 256-entry blocks
+// inside symbolic regions, returning to packed mode after a
+// symbol-free block.
+func resolveSpanScalar(dst []byte, out []uint16, ctx []byte) int {
+	n := len(out)
+	i := 0
+	for i < n {
+		for i+8 <= n {
+			v0, v1, v2, v3 := out[i], out[i+1], out[i+2], out[i+3]
+			v4, v5, v6, v7 := out[i+4], out[i+5], out[i+6], out[i+7]
+			if v0|v1|v2|v3|v4|v5|v6|v7 >= SymBase {
+				break
+			}
+			u := uint64(v0) | uint64(v1)<<8 | uint64(v2)<<16 | uint64(v3)<<24 |
+				uint64(v4)<<32 | uint64(v5)<<40 | uint64(v6)<<48 | uint64(v7)<<56
+			binary.LittleEndian.PutUint64(dst[i:i+8], u)
+			i += 8
+		}
+		if i >= n {
+			break
+		}
+		for i < n {
+			end := i + 256
+			if end > n {
+				end = n
+			}
+			o := out[i:end]
+			d := dst[i:end]
+			d = d[:len(o)]
+			syms := 0
+			for j, v := range o {
+				if v < SymBase {
+					d[j] = byte(v)
+					continue
+				}
+				k := int(v) - SymBase
+				if k >= len(ctx) {
+					return i + j
+				}
+				d[j] = ctx[k]
+				syms++
+			}
+			i = end
+			if syms == 0 {
+				break // clean block: the symbolic run has ended
+			}
+		}
+	}
+	return -1
 }
 
 // Narrow renders a symbolic stream as bytes with every unresolved

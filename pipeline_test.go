@@ -34,10 +34,7 @@ func (o *oneByteReader) Read(p []byte) (int, error) {
 
 func TestStreamingReaderOneByteSource(t *testing.T) {
 	data := genFastq(3000, 91)
-	gz, err := Compress(data, 6)
-	if err != nil {
-		t.Fatal(err)
-	}
+	gz := gzCorpus(t, 3000, 91, 6)
 	r, err := NewReader(&oneByteReader{bytes.NewReader(gz)}, StreamOptions{
 		Threads:              2,
 		BatchCompressedBytes: 64 << 10,
@@ -82,11 +79,7 @@ func (f *failingReader) Read(p []byte) (int, error) {
 }
 
 func TestStreamingReaderSourceErrorPropagates(t *testing.T) {
-	data := genFastq(20000, 92)
-	gz, err := Compress(data, 6)
-	if err != nil {
-		t.Fatal(err)
-	}
+	gz := gzCorpus(t, 20000, 8, 6)
 	boom := errors.New("the disk caught fire")
 	r, err := NewReader(&failingReader{r: bytes.NewReader(gz), left: len(gz) / 2, err: boom}, StreamOptions{
 		Threads:              3,
@@ -139,11 +132,7 @@ func (s *stallingReader) Read(p []byte) (int, error) {
 // delivering (e.g. a stalled socket) — the worker is parked inside the
 // window fill, not on the batch channel.
 func TestStreamingReaderCloseUnblocksStalledSource(t *testing.T) {
-	data := genFastq(30000, 93)
-	gz, err := Compress(data, 6)
-	if err != nil {
-		t.Fatal(err)
-	}
+	gz := gzCorpus(t, 30000, 93, 6)
 	release := make(chan struct{})
 	defer close(release) // let the stalled background read finish
 	src := &stallingReader{r: bytes.NewReader(gz), left: len(gz) / 3, release: release}
@@ -180,11 +169,7 @@ func TestStreamingReaderCloseUnblocksStalledSource(t *testing.T) {
 // batches are still flowing and asserts the worker pool winds down
 // (no deadlock, no panic; -race catches leaks touching freed state).
 func TestStreamingReaderEarlyCloseMidStream(t *testing.T) {
-	data := genFastq(40000, 94)
-	gz, err := Compress(data, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
+	gz := gzCorpus(t, 40000, 31, 1)
 	for i := 0; i < 3; i++ {
 		r, err := NewReader(bytes.NewReader(gz), StreamOptions{
 			Threads:              4,

@@ -4,13 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
-
-	"repro/internal/fastq"
 )
-
-func genFastq(reads int, seed int64) []byte {
-	return fastq.Generate(fastq.GenOptions{Reads: reads, Seed: seed})
-}
 
 func TestDecompressRoundTrip(t *testing.T) {
 	data := genFastq(6000, 1)
@@ -101,8 +95,7 @@ func TestScanBlocks(t *testing.T) {
 }
 
 func TestFindBlockAgainstScan(t *testing.T) {
-	data := genFastq(8000, 6)
-	gz, _ := Compress(data, 6)
+	gz := gzCorpus(t, 8000, 6, 6)
 	blocks, err := ScanBlocks(gz)
 	if err != nil {
 		t.Fatal(err)
@@ -132,8 +125,7 @@ func TestRandomAccessLowestLevelIsClean(t *testing.T) {
 	// essentially every extracted sequence is unambiguous. The delay to
 	// resolution is a few MB (the paper reports 52 MB on real GB-scale
 	// files), so the corpus must be tens of MB.
-	data := genFastq(150000, 7)
-	gz, _ := Compress(data, 1)
+	gz := gzCorpus(t, 150000, 7, 1)
 	res, err := RandomAccess(gz, int64(len(gz)/5), RandomAccessOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -152,7 +144,7 @@ func TestRandomAccessLowestLevelIsClean(t *testing.T) {
 
 func TestRandomAccessTextIsPlausible(t *testing.T) {
 	data := genFastq(20000, 8)
-	gz, _ := Compress(data, 6)
+	gz := gzCorpus(t, 20000, 8, 6)
 	res, err := RandomAccess(gz, int64(len(gz)/2), RandomAccessOptions{MaxOutput: 1 << 20})
 	if err != nil {
 		t.Fatal(err)

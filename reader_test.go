@@ -11,10 +11,7 @@ import (
 func TestStreamingReaderMatchesWhole(t *testing.T) {
 	data := genFastq(40000, 31)
 	for _, level := range []int{1, 6, 9} {
-		gz, err := Compress(data, level)
-		if err != nil {
-			t.Fatal(err)
-		}
+		gz := gzCorpus(t, 40000, 31, level)
 		r, err := NewReaderBytes(gz, StreamOptions{
 			Threads:              4,
 			BatchCompressedBytes: 256 << 10, // force many batches
@@ -40,8 +37,8 @@ func TestStreamingReaderMatchesWhole(t *testing.T) {
 func TestStreamingReaderMultiMember(t *testing.T) {
 	a := genFastq(8000, 32)
 	b := genFastq(8000, 33)
-	ga, _ := Compress(a, 6)
-	gb, _ := Compress(b, 1)
+	ga := gzCorpus(t, 8000, 32, 6)
+	gb := gzCorpus(t, 8000, 33, 1)
 	gz := append(append([]byte{}, ga...), gb...)
 	r, err := NewReaderBytes(gz, StreamOptions{Threads: 3, BatchCompressedBytes: 128 << 10, MinChunk: 8 << 10, VerifyChecksums: true})
 	if err != nil {
@@ -60,7 +57,7 @@ func TestStreamingReaderMultiMember(t *testing.T) {
 
 func TestStreamingReaderSmallReads(t *testing.T) {
 	data := genFastq(4000, 34)
-	gz, _ := Compress(data, 6)
+	gz := gzCorpus(t, 4000, 34, 6)
 	r, err := NewReaderBytes(gz, StreamOptions{Threads: 2, BatchCompressedBytes: 64 << 10, MinChunk: 8 << 10})
 	if err != nil {
 		t.Fatal(err)

@@ -5,17 +5,11 @@ import (
 	"testing"
 
 	pugz "repro"
-	"repro/internal/fastq"
 )
 
 func scanFixture(t *testing.T, level int) (data, gz []byte) {
 	t.Helper()
-	data = fastq.Generate(fastq.GenOptions{Reads: 6000, Seed: 17})
-	gz, err := pugz.Compress(data, level)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return data, gz
+	return extFastq(6000, 17), extGz(t, 6000, 17, level)
 }
 
 // TestScanBlocksExtents checks the structural invariants of a block
@@ -104,11 +98,7 @@ func TestScanBlocksReaderAtSource(t *testing.T) {
 // end of the compressed file.
 func TestFindBlockBoundaries(t *testing.T) {
 	_, gzA := scanFixture(t, 6)
-	dataB := fastq.Generate(fastq.GenOptions{Reads: 6000, Seed: 18})
-	gzB, err := pugz.Compress(dataB, 6)
-	if err != nil {
-		t.Fatal(err)
-	}
+	gzB := extGz(t, 6000, 18, 6)
 	gz := append(append([]byte{}, gzA...), gzB...)
 
 	blocks, err := pugz.ScanBlocks(gz) // first member only

@@ -1,0 +1,155 @@
+package pugz
+
+// Differential tests for the tail-only skip mode (PR 5): every surface
+// that decodes through the tail sinks — Size() measuring passes, deep
+// unindexed ReadAt (the parallel two-pass skip), and the skip-mode
+// streaming index build — must be byte-identical to the full symbolic
+// path across compression levels, stored-block-heavy (level 0) input,
+// and multi-member files.
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// skipCorpora returns named gzip corpora over the same logical data:
+// levels 1/6/9, a stored-block-heavy level-0 file, and a multi-member
+// concatenation. The returned map values share cached backing; tests
+// must not mutate them.
+func skipCorpora(t *testing.T) (map[string][]byte, map[string][]byte) {
+	t.Helper()
+	const reads, seed = 9000, 711
+	data := genFastq(reads, seed)
+	second := genFastq(2000, 712)
+	gz := map[string][]byte{
+		"level0": gzCorpus(t, reads, seed, 0),
+		"level1": gzCorpus(t, reads, seed, 1),
+		"level6": gzCorpus(t, reads, seed, 6),
+		"level9": gzCorpus(t, reads, seed, 9),
+	}
+	gz["multimember"] = append(append([]byte{}, gz["level6"]...), gzCorpus(t, 2000, 712, 6)...)
+	want := map[string][]byte{}
+	for name := range gz {
+		want[name] = data
+	}
+	want["multimember"] = append(append([]byte{}, data...), second...)
+	return gz, want
+}
+
+// TestSkipModeSizeAndDeepReadAt: the tail-only measuring pass behind
+// Size() and the tail-only skip behind a deep unindexed ReadAt must
+// agree byte-for-byte with the fully translated stream.
+func TestSkipModeSizeAndDeepReadAt(t *testing.T) {
+	gzs, wants := skipCorpora(t)
+	for name, gz := range gzs {
+		t.Run(name, func(t *testing.T) {
+			want := wants[name]
+			f, err := NewFileBytes(gz, FileOptions{
+				Threads:              3,
+				BatchCompressedBytes: 192 << 10,
+				MinChunk:             16 << 10,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			// Deep seek first: the skip path runs before any size pass has
+			// primed checkpoints.
+			off := int64(len(want)) * 85 / 100
+			p := make([]byte, 48<<10)
+			if _, err := f.ReadAt(p, off); err != nil && err != io.EOF {
+				t.Fatalf("deep ReadAt(%d): %v", off, err)
+			}
+			if !bytes.Equal(p, want[off:off+int64(len(p))]) {
+				t.Fatalf("deep ReadAt(%d): output differs from full decode", off)
+			}
+			size, err := f.Size()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if size != int64(len(want)) {
+				t.Fatalf("Size = %d, want %d", size, len(want))
+			}
+			// And a read crossing the very end (multi-member: crossing the
+			// member boundary is covered by off landing in member one for
+			// the concatenated corpus above).
+			tail := make([]byte, 4096)
+			if _, err := f.ReadAt(tail, size-int64(len(tail))); err != nil && err != io.EOF {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(tail, want[size-int64(len(tail)):]) {
+				t.Fatal("tail read mismatch")
+			}
+		})
+	}
+}
+
+// TestSkipModeDeepSeekTailBatches: a deep seek across many small
+// batches — the geometry where the pipeline's skippability estimate
+// switches pass 1 to the tail-only sinks for the clearly-skippable
+// middle segments while the first and boundary segments decode in
+// full. The mixed sequence must stay byte-exact and still harvest
+// usable auto-index restart points from the tail segments.
+func TestSkipModeDeepSeekTailBatches(t *testing.T) {
+	data := genFastq(40000, 31)
+	gz := gzCorpus(t, 40000, 31, 6)
+	f, err := NewFileBytes(gz, FileOptions{
+		Threads:              3,
+		BatchCompressedBytes: 64 << 10,
+		MinChunk:             8 << 10,
+		AutoIndexSpacing:     256 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	off := int64(len(data)) * 9 / 10
+	p := make([]byte, 32<<10)
+	if _, err := f.ReadAt(p, off); err != nil && err != io.EOF {
+		t.Fatalf("deep ReadAt(%d): %v", off, err)
+	}
+	if !bytes.Equal(p, data[off:off+int64(len(p))]) {
+		t.Fatalf("deep ReadAt(%d): mismatch", off)
+	}
+	if f.Checkpoints() == 0 {
+		t.Fatal("tail-mode deep seek harvested no restart points")
+	}
+	// A second, earlier deep seek must resume from a harvested restart
+	// point and stay exact.
+	off2 := off - 1<<20
+	if _, err := f.ReadAt(p, off2); err != nil && err != io.EOF {
+		t.Fatalf("second ReadAt(%d): %v", off2, err)
+	}
+	if !bytes.Equal(p, data[off2:off2+int64(len(p))]) {
+		t.Fatalf("second ReadAt(%d): mismatch", off2)
+	}
+}
+
+// TestSkipModeIndexBytes: the skip-mode streaming index build must
+// marshal byte-identically to the sequential zran reference on every
+// corpus shape (both index the first member).
+func TestSkipModeIndexBytes(t *testing.T) {
+	gzs, _ := skipCorpora(t)
+	const spacing = 160 << 10
+	for name, gz := range gzs {
+		t.Run(name, func(t *testing.T) {
+			want := slurpIndexBlob(t, gz, spacing)
+			ix, err := NewIndexFromReader(bytes.NewReader(gz), spacing, StreamOptions{
+				Threads:              3,
+				BatchCompressedBytes: 192 << 10,
+				MinChunk:             16 << 10,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ix.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("skip-mode index differs from sequential build (%d vs %d bytes)", len(got), len(want))
+			}
+		})
+	}
+}

@@ -74,7 +74,9 @@ func (ix *Index) ReadAt(gz []byte, p []byte, off int64) (int, error) {
 // readAtSource is ReadAt over a File's byte source: the compressed
 // window is loaded on demand starting at the governing checkpoint and
 // grown geometrically until the read decodes (in-memory sources alias
-// the slice and decode in one attempt).
+// the slice and decode in one attempt). The index is never mutated and
+// every window is private to the call, so any number of these may run
+// concurrently — this is File.ReadAt's embarrassingly parallel path.
 func (ix *Index) readAtSource(f *File, p []byte, off int64) (int, error) {
 	cp, err := ix.inner.FindCheckpoint(off)
 	if err != nil {
@@ -124,13 +126,14 @@ func LoadIndex(gz []byte, blob []byte) (*Index, error) {
 // SetIndex attaches a serialised checkpoint index (Index.Marshal) that
 // was built for this same gzip file: subsequent ReadAt calls within
 // the indexed extent decode from the nearest checkpoint instead of
-// scanning from the start.
+// scanning from the start. The attach is atomic, so SetIndex may run
+// concurrently with reads.
 func (f *File) SetIndex(blob []byte) error {
 	inner, err := gzindex.Unmarshal(blob)
 	if err != nil {
 		return err
 	}
-	f.opts.Index = &Index{inner: inner, payloadOff: f.hdrLen}
+	f.setIndex(&Index{inner: inner, payloadOff: f.hdrLen})
 	return nil
 }
 

@@ -13,6 +13,7 @@ import (
 	stdgzip "compress/gzip"
 	"io"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	pugz "repro"
@@ -617,6 +618,64 @@ func TestExperimentsSmoke(t *testing.T) {
 			if sink.Len() == 0 {
 				t.Fatalf("%s produced no output", e.ID)
 			}
+		})
+	}
+}
+
+// BenchmarkFileConcurrentReadAt measures N goroutines hammering one
+// indexed File with positional reads — the serving-layer workload
+// (ROADMAP item 1). Before the cursor-pool refactor every reader
+// serialised through one mutex, so throughput was flat in N; now
+// indexed reads share nothing mutable and scale with cores. readers=1
+// doubles as the no-regression guard for the serialized baseline.
+func BenchmarkFileConcurrentReadAt(b *testing.B) {
+	loadFixtures(b)
+	ix, err := pugz.BuildIndex(fixGz, 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blob, err := ix.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := pugz.NewFileBytes(fixGz, pugz.FileOptions{Threads: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.SetIndex(blob); err != nil {
+		b.Fatal(err)
+	}
+	const readLen = 64 << 10
+	span := ix.Size() - readLen
+	for _, readers := range []int{1, 4, 64, 1024} {
+		b.Run("readers="+itoa(readers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(readLen)
+			var next atomic.Int64
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for g := 0; g < readers; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					buf := make([]byte, readLen)
+					for {
+						i := next.Add(1)
+						if i > int64(b.N) {
+							return
+						}
+						// Deterministic stride walk spreading reads across
+						// the indexed extent.
+						off := (i * 2654435761) % span
+						if _, err := f.ReadAt(buf, off); err != nil && err != io.EOF {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
 		})
 	}
 }

@@ -27,9 +27,10 @@ import (
 // defaultGate names the hot-path benchmarks whose regressions fail CI:
 // the headline whole-file decompression, the bounded-memory streaming
 // reader, the seekable-File read paths (including the tail-only Size
-// measuring pass), the pass-2 translation kernels, and the skip-mode
-// index build. Everything else is warn-only.
-const defaultGate = `^Benchmark(Table2Pugz32|StreamingReader|FileReadAt|FileDeepSeek|FileSize|Pass2Translate|ResolveDensity|BuildIndex)`
+// measuring pass and the concurrent-reader scaling curve), the pass-2
+// translation kernels, and the skip-mode index build. Everything else
+// is warn-only.
+const defaultGate = `^Benchmark(Table2Pugz32|StreamingReader|FileReadAt|FileConcurrentReadAt|FileDeepSeek|FileSize|Pass2Translate|ResolveDensity|BuildIndex)`
 
 func main() {
 	gate := flag.String("gate", defaultGate, "regexp of benchmark names whose regressions fail (others warn)")

@@ -9,6 +9,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/gzindex"
@@ -37,6 +38,13 @@ type FileOptions struct {
 	// re-decoding from the start. 0 selects 1 MiB; negative disables
 	// auto-indexing.
 	AutoIndexSpacing int64
+	// MaxIdleCursors bounds how many forward-scan cursors the File
+	// retains between reads. Each idle cursor holds a paused streaming
+	// pipeline (O(batch x threads) memory), so this is the File's idle
+	// memory bound; concurrent readers beyond it still run in parallel
+	// on their own transient cursors, which are closed on release
+	// instead of pooled. 0 selects 4; negative retains none.
+	MaxIdleCursors int
 }
 
 // File provides random access to decompressed content over any
@@ -49,8 +57,8 @@ type FileOptions struct {
 //     (output is byte-identical to gunzip's). With an Index, reads
 //     within the first member inflate only from the nearest
 //     checkpoint; without one, reads decode forward from the start
-//     through the bounded-memory parallel pipeline, and a cached
-//     cursor makes ascending reads (the scan pattern) cost one pass
+//     through the bounded-memory parallel pipeline, and pooled
+//     cursors make ascending reads (the scan pattern) cost one pass
 //     total.
 //
 //   - RandomAccessAt addresses *compressed* offsets the paper's way:
@@ -59,8 +67,24 @@ type FileOptions struct {
 //     (Sections IV and VI), yielding partially resolved text
 //     immediately.
 //
-// ReadAt, Read, Seek and Size are safe for concurrent use (reads on
-// the shared cursor are serialised); the remaining methods are not.
+// # Concurrency
+//
+// ReadAt, Size, Checkpoints, RandomAccessAt, FindBlockAt and Close are
+// safe for concurrent use and scale with the number of callers: the
+// shared state (source, header, attached index, cached size, harvested
+// restart points) is immutable or behind atomic/copy-on-write
+// pointers, and each ReadAt claims its own cursor from a pool instead
+// of contending on one lock. Indexed reads share nothing mutable at
+// all; unindexed reads each hold one streaming cursor (O(batch x
+// threads) memory) for the duration of the call, of which at most
+// MaxIdleCursors are retained between calls. Concurrent deep seeks
+// merge the restart points they harvest into one auto-index. The first
+// Size call on an unindexed File runs a single measuring pass that
+// concurrent callers share (singleflight). Read and Seek are also safe
+// for concurrent use, but they address one shared stream position, so
+// concurrent Read calls serialise on it — use ReadAt to scale.
+// SetIndex and BuildIndex may run concurrently with reads; ScanBlocks
+// is a long sequential walk and safe alongside any of the above.
 type File struct {
 	src  io.ReaderAt
 	size int64  // compressed size
@@ -69,17 +93,25 @@ type File struct {
 
 	hdrLen int64 // first member's header length
 
-	mu    sync.Mutex
-	cur   *fileCursor
+	// Shared snapshot state: everything a concurrent read consults is
+	// immutable (src, size, raw, hdrLen, opts sans Index) or atomic.
+	ix     atomic.Pointer[Index] // attached checkpoint index
+	usize  atomic.Int64          // cached decompressed size, -1 = not yet known
+	sizeMu sync.Mutex            // singleflight for the Size measuring pass
+
+	posMu sync.Mutex
 	pos   int64 // Read/Seek cursor (decompressed)
-	usize int64 // cached decompressed size, -1 = not yet known
+
+	cursors cursorPool
 
 	// Auto-index: restart points within the first member, harvested as
 	// a side-channel of deep seeks (and Size passes) and consulted when
-	// a cursor must be (re)opened. Guarded by its own lock because the
-	// pipeline worker inserts while a read is in flight under mu.
+	// a cursor must be opened. Readers load the sorted set via one
+	// atomic pointer (RCU-style: the slice is never mutated in place);
+	// writers — pipeline workers of concurrent cursors — merge their
+	// insertions under cpMu via copy-on-write.
 	cpMu sync.Mutex
-	cps  []fileCheckpoint // sorted by out
+	cps  atomic.Pointer[[]fileCheckpoint] // sorted by out
 }
 
 // fileCheckpoint is one retained restart point of the first member.
@@ -94,18 +126,99 @@ type fileCheckpoint struct {
 // offset it has reached. skipPending marks a cursor opened with a
 // pipeline-level skip whose target has not been confirmed reachable
 // yet: until the first byte arrives, pos is presumptive (the stream
-// may end before it), so it must not be trusted as a size measurement.
+// may end before it), so it must not be trusted as a size measurement
+// or as a proximity signal against a checkpoint inflate.
+//
+// A cursor is owned by exactly one goroutine between claim and
+// release, so its fields need no lock.
 type fileCursor struct {
 	r           *Reader
 	pos         int64
 	skipPending bool
 }
 
+// cursorPool holds the File's idle forward-scan cursors. Claiming
+// picks the cursor nearest below the target offset so ascending scans
+// keep their one-pass cost and concurrent scans at different depths
+// each keep their own cursor; releasing beyond maxIdle closes the
+// cursor instead, bounding idle memory.
+type cursorPool struct {
+	mu      sync.Mutex
+	idle    []*fileCursor
+	maxIdle int
+}
+
+// claim removes and returns the idle cursor that can serve offset off
+// most cheaply: position at or below off, within maxGap of it, and —
+// when trusted is set — not skipPending (a presumptive position must
+// not win a proximity contest; see fileCursor). Returns nil when no
+// idle cursor qualifies.
+func (cp *cursorPool) claim(off, maxGap int64, trusted bool) *fileCursor {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	best := -1
+	for i, c := range cp.idle {
+		if c.pos > off || off-c.pos > maxGap {
+			continue
+		}
+		if trusted && c.skipPending {
+			continue
+		}
+		if best < 0 || c.pos > cp.idle[best].pos ||
+			(c.pos == cp.idle[best].pos && cp.idle[best].skipPending && !c.skipPending) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	c := cp.idle[best]
+	cp.idle = append(cp.idle[:best], cp.idle[best+1:]...)
+	return c
+}
+
+// release returns a claimed cursor to the pool, or closes it when the
+// pool is full (or disabled).
+func (cp *cursorPool) release(c *fileCursor) {
+	cp.mu.Lock()
+	if len(cp.idle) < cp.maxIdle {
+		cp.idle = append(cp.idle, c)
+		cp.mu.Unlock()
+		return
+	}
+	cp.mu.Unlock()
+	c.r.Close()
+}
+
+// drain closes every idle cursor.
+func (cp *cursorPool) drain() {
+	cp.mu.Lock()
+	idle := cp.idle
+	cp.idle = nil
+	cp.mu.Unlock()
+	for _, c := range idle {
+		c.r.Close()
+	}
+}
+
+// defaultMaxIdleCursors is the default cursor-pool size: enough for a
+// handful of interleaved ascending scans without letting idle
+// pipelines dominate memory.
+const defaultMaxIdleCursors = 4
+
 // NewFile opens a gzip file over an arbitrary io.ReaderAt of the given
 // compressed size. The first member header is parsed (and validated)
 // before returning.
 func NewFile(src io.ReaderAt, size int64, o FileOptions) (*File, error) {
-	f := &File{src: src, size: size, opts: o, usize: -1}
+	f := &File{src: src, size: size, opts: o}
+	f.usize.Store(-1)
+	f.ix.Store(o.Index)
+	switch {
+	case o.MaxIdleCursors > 0:
+		f.cursors.maxIdle = o.MaxIdleCursors
+	case o.MaxIdleCursors == 0:
+		f.cursors.maxIdle = defaultMaxIdleCursors
+	}
 	br := bufio.NewReader(io.NewSectionReader(src, 0, size))
 	m, err := gzipx.ReadHeader(br)
 	if err != nil {
@@ -127,6 +240,18 @@ func NewFileBytes(gz []byte, o FileOptions) (*File, error) {
 	return f, nil
 }
 
+// index returns the currently attached checkpoint index, if any.
+func (f *File) index() *Index { return f.ix.Load() }
+
+// setIndex atomically attaches ix (SetIndex, BuildIndex) so in-flight
+// reads see either the old or the new index, never a torn one.
+func (f *File) setIndex(ix *Index) {
+	f.ix.Store(ix)
+	if ix != nil && ix.coversWholeFile(f.size) {
+		f.usize.CompareAndSwap(-1, ix.Size())
+	}
+}
+
 // streamOptions assembles the cursor's Reader configuration.
 func (f *File) streamOptions() StreamOptions {
 	return StreamOptions{
@@ -140,8 +265,12 @@ func (f *File) streamOptions() StreamOptions {
 // offset off, implementing io.ReaderAt over the *output* stream. Reads
 // that land inside the indexed extent are served from the nearest
 // checkpoint; everything else decodes forward from the member start on
-// a cached cursor, so a sequence of ascending ReadAt calls costs one
+// a pooled cursor, so a sequence of ascending ReadAt calls costs one
 // sequential pass in total. Short reads at end of stream return io.EOF.
+//
+// ReadAt is safe for concurrent use and does not serialise callers:
+// each call claims its own cursor (or decodes directly from a
+// checkpoint) against the File's immutable snapshot state.
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("pugz: negative read offset %d", off)
@@ -149,84 +278,112 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.readAtLocked(p, off)
+	return f.readAt(p, off)
 }
 
-// readAtLocked serves a positional read (f.mu held), choosing between
-// the checkpoint index and the forward-scan cursor: the cursor wins
-// only when it is already at (or within one checkpoint spacing behind)
-// the target, where continuing the scan costs less than a
-// checkpoint-to-offset inflate.
-func (f *File) readAtLocked(p []byte, off int64) (int, error) {
-	if ix := f.opts.Index; ix != nil && off+int64(len(p)) <= ix.Size() {
-		useCursor := false
-		if f.cur != nil && off >= f.cur.pos {
-			useCursor = off-f.cur.pos <= ix.spacing()
-		}
-		if !useCursor {
+// readAt serves a positional read, choosing between the checkpoint
+// index and a pooled forward-scan cursor: a cursor wins only when one
+// is already at (or within one checkpoint spacing behind) the target
+// with a trusted position, where continuing the scan costs less than a
+// checkpoint-to-offset inflate. A skipPending cursor never wins here:
+// its position is presumptive, so preferring it over a cheap
+// checkpoint inflate would be betting on a guess.
+func (f *File) readAt(p []byte, off int64) (int, error) {
+	if ix := f.index(); ix != nil && off+int64(len(p)) <= ix.Size() {
+		cur := f.cursors.claim(off, ix.spacing(), true)
+		if cur == nil {
 			n, err := ix.readAtSource(f, p, off)
 			if err == nil && n < len(p) {
 				err = io.EOF
 			}
 			return n, err
 		}
+		return f.readAtCursor(cur, p, off)
 	}
-	return f.readAtCursor(p, off)
+	cur := f.cursors.claim(off, cursorReopenGap, false)
+	if cur == nil {
+		var err error
+		cur, err = f.openCursor(off)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return f.readAtCursor(cur, p, off)
 }
 
-// cursorReopenGap is how far ahead of the live cursor a target may lie
-// before continuing the translate-and-discard scan loses to reopening
-// the cursor with a pipeline-level skip: a reopened cursor restarts
-// from the nearest retained checkpoint and covers the gap without
-// pass-2 translation (the parallel two-pass skip).
+// cursorReopenGap is how far ahead of a live cursor a target may lie
+// before continuing the translate-and-discard scan loses to opening a
+// cursor with a pipeline-level skip: a fresh cursor restarts from the
+// nearest retained checkpoint and covers the gap without pass-2
+// translation (the parallel two-pass skip).
 const cursorReopenGap = 4 << 20
 
-// readAtCursor serves a positional read by scanning forward on the
-// shared cursor (f.mu held). Targets behind the cursor or far ahead of
-// it reopen the cursor at the best restart point; small forward gaps
-// are discarded in-line, which keeps ascending reads on one pass.
-func (f *File) readAtCursor(p []byte, off int64) (int, error) {
-	if f.cur == nil || off < f.cur.pos || off-f.cur.pos > cursorReopenGap {
-		if err := f.openCursorFor(off); err != nil {
-			return 0, err
+// readAtCursor serves a positional read by scanning forward on a
+// claimed cursor (owned by this call). Small forward gaps are
+// discarded in-line, which keeps ascending reads on one pass; the
+// cursor returns to the pool on success and is closed on a stream
+// error (its decode state is unusable past a failure).
+func (f *File) readAtCursor(cur *fileCursor, p []byte, off int64) (n int, err error) {
+	defer func() {
+		if err != nil && err != io.EOF {
+			cur.r.Close()
+			return
 		}
-	}
-	if skip := off - f.cur.pos; skip > 0 {
-		n, err := io.CopyN(io.Discard, f.cur.r, skip)
-		f.cur.pos += n
-		if err != nil {
-			if errors.Is(err, io.EOF) {
+		f.cursors.release(cur)
+	}()
+	if skip := off - cur.pos; skip > 0 {
+		m, cerr := io.CopyN(io.Discard, cur.r, skip)
+		if m > 0 {
+			// Bytes flowed out of the pipeline, which proves its skip
+			// target was reached: pos is exact from here on.
+			cur.skipPending = false
+		}
+		cur.pos += m
+		if cerr != nil {
+			if errors.Is(cerr, io.EOF) {
+				// Clean end of stream during the discard: with an exact
+				// position this reveals the true decompressed size, so
+				// cache it — otherwise every later past-EOF ReadAt pays
+				// a full measuring re-scan.
+				f.cacheSizeFromCursor(cur)
 				return 0, io.EOF // offset past end of stream
 			}
-			return 0, err
+			err = cerr
+			return 0, cerr
 		}
 	}
-	n, err := io.ReadFull(f.cur.r, p)
+	n, err = io.ReadFull(cur.r, p)
 	if n > 0 {
 		// The stream reached the cursor's skip target: pos is exact again.
-		f.cur.skipPending = false
+		cur.skipPending = false
 	}
-	f.cur.pos += int64(n)
+	cur.pos += int64(n)
 	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
 		err = io.EOF
-		if f.usize < 0 && !f.cur.skipPending {
-			f.usize = f.cur.pos // end reached: size now known
-		}
+		f.cacheSizeFromCursor(cur)
 	}
 	return n, err
 }
 
-// openCursorFor (re)opens the streaming cursor so its next byte is the
-// one at decompressed offset off (f.mu held). The cursor starts at the
-// best restart point at or before off — a retained auto-index
-// checkpoint, an attached Index checkpoint, or the file start — and
-// covers the remaining gap with the pipeline's translation-free skip;
-// restart points discovered while skipping are retained, so repeated
-// deep seeks into the same File stop re-decoding from the start.
-func (f *File) openCursorFor(off int64) error {
-	f.closeCursor()
+// cacheSizeFromCursor records the decompressed size revealed by a
+// cursor reaching clean end of stream — but only when its position is
+// exact (a skipPending position is presumptive and must never be
+// trusted as a size measurement).
+func (f *File) cacheSizeFromCursor(cur *fileCursor) {
+	if !cur.skipPending {
+		f.usize.CompareAndSwap(-1, cur.pos)
+	}
+}
+
+// openCursor opens a streaming cursor whose next byte is the one at
+// decompressed offset off. The cursor starts at the best restart point
+// at or before off — a retained auto-index checkpoint, an attached
+// Index checkpoint, or the file start — and covers the remaining gap
+// with the pipeline's translation-free skip; restart points discovered
+// while skipping are retained (merged across concurrent cursors), so
+// repeated deep seeks into the same File stop re-decoding from the
+// start.
+func (f *File) openCursor(off int64) (*fileCursor, error) {
 	var (
 		secBase  int64
 		cs       cursorState
@@ -247,10 +404,9 @@ func (f *File) openCursorFor(off int64) error {
 	}
 	r, err := newCursorReader(io.NewSectionReader(f.src, secBase, f.size-secBase), f.streamOptions(), cs)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	f.cur = &fileCursor{r: r, pos: off, skipPending: off > startOut}
-	return nil
+	return &fileCursor{r: r, pos: off, skipPending: off > startOut}, nil
 }
 
 // bestRestart returns the restart point closest below off: the best of
@@ -263,13 +419,14 @@ func (f *File) openCursorFor(off int64) error {
 // as zeros) — starting from scratch costs the same and keeps it.
 func (f *File) bestRestart(off int64) *fileCheckpoint {
 	var best *fileCheckpoint
-	f.cpMu.Lock()
-	if i := sort.Search(len(f.cps), func(i int) bool { return f.cps[i].out > off }); i > 0 {
-		cp := f.cps[i-1]
-		best = &cp
+	if p := f.cps.Load(); p != nil {
+		cps := *p
+		if i := sort.Search(len(cps), func(i int) bool { return cps[i].out > off }); i > 0 {
+			cp := cps[i-1]
+			best = &cp
+		}
 	}
-	f.cpMu.Unlock()
-	if ix := f.opts.Index; ix != nil && ix.Size() > 0 {
+	if ix := f.index(); ix != nil && ix.Size() > 0 {
 		// Past the indexed extent the index's last checkpoint is still
 		// the best first-member restart (the cursor handles the trailer
 		// and any following members from there).
@@ -310,8 +467,10 @@ const maxAutoCheckpoints = 1024
 
 // retainCheckpoint files a restart point discovered by a cursor whose
 // source section began at compressed offset secBase. Runs on the
-// cursor's worker goroutine, concurrent with reads — hence its own
-// lock. Neighbours closer than half the spacing are not duplicated, so
+// cursor's worker goroutine, concurrent with reads and with other
+// cursors' harvests — writers merge under cpMu by publishing a fresh
+// sorted slice (copy-on-write), so bestRestart readers never lock.
+// Neighbours closer than half the spacing are not duplicated, so
 // overlapping skip passes converge instead of accreting.
 func (f *File) retainCheckpoint(cp core.Checkpoint, secBase int64) {
 	bit := (secBase-f.hdrLen)*8 + cp.Bit
@@ -324,44 +483,49 @@ func (f *File) retainCheckpoint(cp core.Checkpoint, secBase int64) {
 	gap := f.autoIndexSpacing() / 2
 	f.cpMu.Lock()
 	defer f.cpMu.Unlock()
-	if len(f.cps) >= maxAutoCheckpoints {
+	var cps []fileCheckpoint
+	if p := f.cps.Load(); p != nil {
+		cps = *p
+	}
+	if len(cps) >= maxAutoCheckpoints {
 		return
 	}
-	i := sort.Search(len(f.cps), func(i int) bool { return f.cps[i].out >= cp.Out })
-	if i < len(f.cps) && f.cps[i].out-cp.Out < gap {
+	i := sort.Search(len(cps), func(i int) bool { return cps[i].out >= cp.Out })
+	if i < len(cps) && cps[i].out-cp.Out < gap {
 		return
 	}
-	if i > 0 && cp.Out-f.cps[i-1].out < gap {
+	if i > 0 && cp.Out-cps[i-1].out < gap {
 		return
 	}
-	f.cps = append(f.cps, fileCheckpoint{})
-	copy(f.cps[i+1:], f.cps[i:])
-	f.cps[i] = fileCheckpoint{bit: bit, out: cp.Out, win: cp.Window}
+	next := make([]fileCheckpoint, len(cps)+1)
+	copy(next, cps[:i])
+	next[i] = fileCheckpoint{bit: bit, out: cp.Out, win: cp.Window}
+	copy(next[i+1:], cps[i:])
+	f.cps.Store(&next)
 }
 
 // Checkpoints returns the number of auto-index restart points the File
 // has retained so far (diagnostics; safe for concurrent use).
 func (f *File) Checkpoints() int {
-	f.cpMu.Lock()
-	defer f.cpMu.Unlock()
-	return len(f.cps)
-}
-
-func (f *File) closeCursor() {
-	if f.cur != nil {
-		f.cur.r.Close()
-		f.cur = nil
+	if p := f.cps.Load(); p != nil {
+		return len(*p)
 	}
+	return 0
 }
 
 // Read implements io.Reader at the Seek cursor. Like ReadAt it uses
-// the checkpoint index when one is attached and the forward-scan
-// cursor is not already close to the position, so a Seek deep into an
-// indexed file does not trigger a decode-from-start.
+// the checkpoint index when one is attached and no pooled cursor is
+// already close to the position, so a Seek deep into an indexed file
+// does not trigger a decode-from-start. Concurrent Read calls are safe
+// but serialise on the shared stream position; use ReadAt for reads
+// that should scale.
 func (f *File) Read(p []byte) (int, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	n, err := f.readAtLocked(p, f.pos)
+	f.posMu.Lock()
+	defer f.posMu.Unlock()
+	if len(p) == 0 {
+		return 0, nil
+	}
+	n, err := f.readAt(p, f.pos)
 	f.pos += int64(n)
 	if n > 0 && errors.Is(err, io.EOF) {
 		err = nil // io.Reader convention: report EOF on the next call
@@ -377,9 +541,9 @@ func (f *File) Seek(offset int64, whence int) (int64, error) {
 	case io.SeekStart:
 		base = 0
 	case io.SeekCurrent:
-		f.mu.Lock()
+		f.posMu.Lock()
 		base = f.pos
-		f.mu.Unlock()
+		f.posMu.Unlock()
 	case io.SeekEnd:
 		size, err := f.Size()
 		if err != nil {
@@ -393,9 +557,9 @@ func (f *File) Seek(offset int64, whence int) (int64, error) {
 	if pos < 0 {
 		return 0, fmt.Errorf("pugz: negative seek position %d", pos)
 	}
-	f.mu.Lock()
+	f.posMu.Lock()
 	f.pos = pos
-	f.mu.Unlock()
+	f.posMu.Unlock()
 	return pos, nil
 }
 
@@ -403,21 +567,25 @@ func (f *File) Seek(offset int64, whence int) (int64, error) {
 // an index covering the whole file this requires one measuring pass the
 // first time it is called — bounded-memory, parallel, and translation-
 // free (the pipeline counts exact output without materialising it) —
-// and the result is cached. Checkpoints discovered along the way feed
-// the auto-index, so a Size call also primes later deep seeks. Note a
-// gzip trailer's ISIZE field is modulo 2^32 and per-member, so it is
-// not used.
+// and the result is cached. Concurrent first calls share a single
+// measuring pass (singleflight); once cached, Size is a lock-free
+// load. Checkpoints discovered along the way feed the auto-index, so a
+// Size call also primes later deep seeks. Note a gzip trailer's ISIZE
+// field is modulo 2^32 and per-member, so it is not used.
 func (f *File) Size() (int64, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.usize >= 0 {
-		return f.usize, nil
+	if u := f.usize.Load(); u >= 0 {
+		return u, nil
 	}
 	// A single-member file with an attached index needs no decode pass:
 	// the index already measured the whole output.
-	if ix := f.opts.Index; ix != nil && ix.coversWholeFile(f.size) {
-		f.usize = ix.Size()
-		return f.usize, nil
+	if ix := f.index(); ix != nil && ix.coversWholeFile(f.size) {
+		f.usize.CompareAndSwap(-1, ix.Size())
+		return ix.Size(), nil
+	}
+	f.sizeMu.Lock()
+	defer f.sizeMu.Unlock()
+	if u := f.usize.Load(); u >= 0 {
+		return u, nil // another caller measured while we waited
 	}
 	cs := cursorState{skipTo: math.MaxInt64}
 	if sp := f.autoIndexSpacing(); sp > 0 && f.Checkpoints() < maxAutoCheckpoints {
@@ -432,17 +600,18 @@ func (f *File) Size() (int64, error) {
 	if _, err := io.Copy(io.Discard, r); err != nil {
 		return 0, err
 	}
-	f.usize = r.Stats().OutBytes
-	return f.usize, nil
+	size := r.Stats().OutBytes
+	f.usize.Store(size)
+	return size, nil
 }
 
-// Close releases the forward-scan cursor (if any). The underlying
+// Close releases the File's idle forward-scan cursors. The underlying
 // source is not closed. The File remains usable; a later read simply
-// opens a fresh cursor.
+// opens a fresh cursor. Safe to call concurrently with reads: cursors
+// claimed by in-flight reads are unaffected (they return to the pool
+// when their read completes).
 func (f *File) Close() error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.closeCursor()
+	f.cursors.drain()
 	return nil
 }
 
@@ -454,7 +623,10 @@ func (f *File) Close() error {
 // instead of whole-file slices. For in-memory sources a window aliases
 // the original slice (zero copy, always extends to EOF); for true
 // io.ReaderAt sources it is filled on demand and grown geometrically
-// when a decode runs off its end.
+// when a decode runs off its end. Each window is private to one call,
+// so decoding through windows is safe for any number of concurrent
+// readers (io.ReaderAt sources must tolerate concurrent ReadAt, per
+// that interface's contract).
 type srcWindow struct {
 	src   io.ReaderAt
 	size  int64 // total source size
@@ -466,6 +638,8 @@ type srcWindow struct {
 
 // openWindow loads [base, base+n) of the compressed file (n is clamped
 // to the file size; in-memory sources always map through to EOF).
+// Touches only the File's immutable snapshot (src, size, raw), so it
+// is safe for concurrent use.
 func (f *File) openWindow(base, n int64) (*srcWindow, error) {
 	if base > f.size {
 		base = f.size

@@ -1,0 +1,215 @@
+package pugz
+
+// White-box tests of the File cursor pool and the cursor/EOF
+// bookkeeping: the skipPending lifecycle, the size cache fed by clean
+// EOFs, and the index-vs-cursor heuristic's handling of presumptive
+// positions. These reach into fileCursor/cursorPool directly to pin
+// states that are hard to reach through the public surface alone.
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// TestReadAtEOFDuringDiscardCachesSize: a past-EOF ReadAt whose
+// in-line discard copy hits clean end of stream on a cursor with an
+// exact position must cache the decompressed size — otherwise every
+// later past-EOF ReadAt pays a full measuring re-scan.
+func TestReadAtEOFDuringDiscardCachesSize(t *testing.T) {
+	data := genFastq(3000, 91)
+	gz := gzCorpus(t, 3000, 91, 6)
+	f, err := NewFileBytes(gz, FileOptions{Threads: 2, MinChunk: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// An exact-position cursor: opened at 0 (no skip), bytes delivered.
+	p := make([]byte, 1000)
+	if _, err := f.ReadAt(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.usize.Load(); got != -1 {
+		t.Fatalf("usize cached prematurely: %d", got)
+	}
+
+	// Past-EOF read within the reopen gap: the discard copy reaches the
+	// true end of stream, which must populate the size cache.
+	if _, err := f.ReadAt(p, int64(len(data))+5000); err != io.EOF {
+		t.Fatalf("past-EOF ReadAt: err=%v, want io.EOF", err)
+	}
+	if got := f.usize.Load(); got != int64(len(data)) {
+		t.Fatalf("usize after EOF during discard = %d, want %d", got, len(data))
+	}
+	// Size() is now a pure cache hit (no measuring pass): it must agree.
+	size, err := f.Size()
+	if err != nil || size != int64(len(data)) {
+		t.Fatalf("Size = %d, %v; want %d", size, err, len(data))
+	}
+}
+
+// TestDiscardCopyClearsSkipPending: when the in-line discard copy
+// moves bytes, the pipeline's skip target was provably reached, so the
+// cursor's position is exact from then on — it must shed skipPending
+// (and with it, become eligible to reveal the size at a clean EOF).
+func TestDiscardCopyClearsSkipPending(t *testing.T) {
+	data := genFastq(3000, 92)
+	gz := gzCorpus(t, 3000, 92, 6)
+	f, err := NewFileBytes(gz, FileOptions{Threads: 2, MinChunk: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// A cursor opened mid-stream with a pipeline-level skip: its
+	// position is presumptive until the first byte arrives.
+	off1 := int64(len(data)) / 2
+	cur, err := f.openCursor(off1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cur.skipPending {
+		t.Fatal("freshly skipped cursor should be skipPending")
+	}
+	f.cursors.release(cur)
+
+	// A past-EOF ReadAt claims it; the discard copy streams from off1
+	// to the true end — bytes flowed, so the position became exact, and
+	// the clean EOF must cache the size.
+	p := make([]byte, 64)
+	if _, err := f.ReadAt(p, int64(len(data))+100); err != io.EOF {
+		t.Fatalf("past-EOF ReadAt: err=%v, want io.EOF", err)
+	}
+	if cur.skipPending {
+		t.Fatal("discard copy moved bytes but skipPending survived")
+	}
+	if got := f.usize.Load(); got != int64(len(data)) {
+		t.Fatalf("usize = %d, want %d", got, len(data))
+	}
+}
+
+// TestReadAtHeuristicIgnoresPresumptiveCursor: with an index attached,
+// the cursor-vs-index choice must not prefer a cursor whose position
+// is still a guess (skipPending) over a cheap checkpoint inflate; once
+// the position is trusted, the near-below cursor wins again.
+func TestReadAtHeuristicIgnoresPresumptiveCursor(t *testing.T) {
+	data := genFastq(4000, 93)
+	gz := gzCorpus(t, 4000, 93, 6)
+	ix, err := BuildIndex(gz, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := ix.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFileBytes(gz, FileOptions{Threads: 2, MinChunk: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.SetIndex(blob); err != nil {
+		t.Fatal(err)
+	}
+
+	off1 := int64(len(data))/2 + 777
+	cur, err := f.openCursor(off1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cur.skipPending {
+		t.Skip("cursor landed exactly on a restart point; scenario not reachable")
+	}
+	f.cursors.release(cur)
+
+	// Just ahead of the presumptive cursor and within checkpoint
+	// spacing: the old heuristic would continue the cursor; the index
+	// must win, leaving the cursor idle and untouched.
+	off := off1 + 1000
+	p := make([]byte, 4096)
+	if _, err := f.ReadAt(p, off); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p, data[off:off+int64(len(p))]) {
+		t.Fatal("indexed read mismatch")
+	}
+	if cur.pos != off1 || !cur.skipPending {
+		t.Fatalf("presumptive cursor was used by an indexed read (pos=%d skipPending=%v)",
+			cur.pos, cur.skipPending)
+	}
+
+	// Same read with the position trusted: the near-below cursor now
+	// wins the proximity contest and advances.
+	cur.skipPending = false
+	if _, err := f.ReadAt(p, off); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p, data[off:off+int64(len(p))]) {
+		t.Fatal("cursor read mismatch")
+	}
+	if want := off + int64(len(p)); cur.pos != want {
+		t.Fatalf("trusted cursor not used: pos=%d, want %d", cur.pos, want)
+	}
+}
+
+// TestCursorPoolClaimAndEvict pins the pool mechanics: claim picks the
+// nearest-below qualifying cursor, trusted claims skip presumptive
+// positions, and releases beyond maxIdle close the cursor instead of
+// pooling it.
+func TestCursorPoolClaimAndEvict(t *testing.T) {
+	gz := gzCorpus(t, 2000, 94, 6)
+	f, err := NewFileBytes(gz, FileOptions{Threads: 1, MinChunk: 16 << 10, MaxIdleCursors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	mk := func(pos int64, pending bool) *fileCursor {
+		cur, err := f.openCursor(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur.pos, cur.skipPending = pos, pending
+		return cur
+	}
+	c100, c500, c800 := mk(100, false), mk(500, true), mk(800, false)
+	f.cursors.idle = []*fileCursor{c100, c500, c800}
+
+	if got := f.cursors.claim(600, 1<<20, false); got != c500 {
+		t.Fatalf("claim(600) = pos %v, want the nearest-below cursor (500)", got)
+	}
+	f.cursors.idle = append(f.cursors.idle, c500)
+	if got := f.cursors.claim(600, 1<<20, true); got != c100 {
+		t.Fatalf("trusted claim(600) = %v, want the exact-position cursor at 100", got)
+	}
+	f.cursors.idle = append(f.cursors.idle, c100)
+	if got := f.cursors.claim(600, 50, true); got != nil {
+		t.Fatalf("claim with tight gap = %v, want nil", got)
+	}
+	if got := f.cursors.claim(90, 1<<20, false); got != nil {
+		t.Fatalf("claim below every cursor = %v, want nil", got)
+	}
+
+	// Pool holds 3 with maxIdle 2: releasing a claimed cursor closes it.
+	extra := mk(900, false)
+	f.cursors.release(extra)
+	if !extra.r.closed.Load() {
+		t.Fatal("release beyond maxIdle did not close the cursor")
+	}
+	if len(f.cursors.idle) != 3 {
+		t.Fatalf("idle = %d, want 3", len(f.cursors.idle))
+	}
+	// Close drains every idle cursor.
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []*fileCursor{c100, c500, c800} {
+		if !c.r.closed.Load() {
+			t.Fatal("Close left an idle cursor open")
+		}
+	}
+	if f.cursors.claim(1000, 1<<20, false) != nil {
+		t.Fatal("claim after Close returned a drained cursor")
+	}
+}

@@ -94,17 +94,13 @@ func buildIndexStream(src io.Reader, spacing int64, o StreamOptions) (*Index, *i
 // parallel streaming pass over its source and attaches it, so
 // subsequent ReadAt calls within the indexed extent decode from the
 // nearest checkpoint. It returns the index (e.g. to Marshal into a
-// side-car). Like SetIndex, it must not race with concurrent reads.
+// side-car). Like SetIndex, the attach is atomic: reads in flight see
+// either the previous index or the new one.
 func (f *File) BuildIndex(spacing int64) (*Index, error) {
 	ix, err := NewIndexFromReader(io.NewSectionReader(f.src, 0, f.size), spacing, f.streamOptions())
 	if err != nil {
 		return nil, err
 	}
-	f.opts.Index = ix
-	f.mu.Lock()
-	if f.usize < 0 && ix.coversWholeFile(f.size) {
-		f.usize = ix.Size()
-	}
-	f.mu.Unlock()
+	f.setIndex(ix)
 	return ix, nil
 }

@@ -100,7 +100,9 @@ func RandomAccess(gz []byte, fromByte int64, o RandomAccessOptions) (*RandomAcce
 // RandomAccessAt is RandomAccess over the File's byte source: the
 // paper's index-free access path, reading only the compressed extent
 // it decodes (plus geometric growth slack for non-slice sources)
-// rather than the whole file.
+// rather than the whole file. It touches only the File's immutable
+// snapshot through a private window, so it is safe for concurrent use
+// alongside any other File method.
 func (f *File) RandomAccessAt(fromByte int64, o RandomAccessOptions) (*RandomAccessResult, error) {
 	if o.MinSeqLen == 0 {
 		o.MinSeqLen = fastq.DefaultMinLen

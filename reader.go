@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"os"
 	"sync"
 	"sync/atomic"
 
@@ -40,6 +41,7 @@ type Reader struct {
 	readErr error
 
 	closeOnce sync.Once
+	closed    atomic.Bool
 	members   atomic.Int64
 }
 
@@ -156,6 +158,22 @@ func NewReaderBytes(gz []byte, o StreamOptions) (*Reader, error) {
 
 var errStreamCancelled = errors.New("pugz: stream cancelled")
 
+// ErrReaderClosed is returned by Reader.Read once Close has run
+// without the stream having reached a terminal state first: the
+// consumer tore the Reader down mid-stream, so what it read so far is
+// a truncated prefix, not a complete stream (a complete stream keeps
+// reporting io.EOF even after Close). It matches errors.Is against
+// os.ErrClosed.
+var ErrReaderClosed error = readerClosedError{}
+
+type readerClosedError struct{}
+
+func (readerClosedError) Error() string { return "pugz: read on closed reader" }
+
+// Is makes errors.Is(err, os.ErrClosed) succeed, mirroring what a
+// closed os.File reports.
+func (readerClosedError) Is(target error) bool { return target == os.ErrClosed }
+
 // run walks members in a worker goroutine: the header of the current
 // member is always already consumed when the loop body starts (or, for
 // a resumed cursor, the first member continues from its resume point).
@@ -242,7 +260,9 @@ func (r *Reader) run() {
 }
 
 // fail records a terminal error for Read to surface, swallowing the
-// sentinels that only mean "the consumer closed us first".
+// sentinels that only mean "the consumer closed us first" — Read
+// reports those as ErrReaderClosed via the closed flag, never as a
+// clean io.EOF.
 func (r *Reader) fail(err error) {
 	if errors.Is(err, errStreamCancelled) || errors.Is(err, srcbuf.ErrClosed) {
 		return
@@ -262,9 +282,17 @@ func (r *Reader) Stats() ReaderStats {
 	}
 }
 
-// Read implements io.Reader.
+// Read implements io.Reader. Once Close has been called before the
+// stream reached EOF (or a decode error), Read reports ErrReaderClosed
+// rather than a clean end of stream — a truncated-by-Close stream must
+// not be mistaken for a complete one. A Reader that already returned
+// io.EOF keeps returning io.EOF after Close.
 func (r *Reader) Read(p []byte) (int, error) {
 	if r.readErr != nil {
+		return 0, r.readErr
+	}
+	if r.closed.Load() {
+		r.readErr = ErrReaderClosed
 		return 0, r.readErr
 	}
 	for len(r.cur) == 0 {
@@ -274,16 +302,21 @@ func (r *Reader) Read(p []byte) (int, error) {
 		}
 		b, ok := <-r.batches
 		if !ok {
-			// Worker finished: either clean EOF or a pending error.
+			// Worker finished: a pending error, a cancellation by Close,
+			// or clean EOF.
 			select {
 			case err := <-r.errc:
 				r.readErr = err
 				return 0, err
 			default:
-				r.done = true
-				r.readErr = io.EOF
-				return 0, io.EOF
 			}
+			if r.closed.Load() {
+				r.readErr = ErrReaderClosed
+				return 0, r.readErr
+			}
+			r.done = true
+			r.readErr = io.EOF
+			return 0, io.EOF
 		}
 		r.cur = b
 	}
@@ -293,13 +326,20 @@ func (r *Reader) Read(p []byte) (int, error) {
 }
 
 // Close stops the pipeline and its source-reader goroutine. It is safe
-// to call multiple times and after EOF. Close does not close the
-// underlying source reader.
+// to call multiple times and after EOF (idempotent). Close does not
+// close the underlying source reader. A Read after an early Close
+// returns ErrReaderClosed; a Reader that had already delivered its
+// whole stream keeps returning io.EOF.
 func (r *Reader) Close() error {
 	// Signal both blocking points — the batch hand-off and the source
 	// window — before draining, so the worker exits even while waiting
-	// on a slow or stalled source.
-	r.closeOnce.Do(func() { close(r.cancel) })
+	// on a slow or stalled source. The closed flag is set first so a
+	// racing Read that observes the channels shutting down attributes
+	// it to Close, not to end of stream.
+	r.closeOnce.Do(func() {
+		r.closed.Store(true)
+		close(r.cancel)
+	})
 	r.p.Close()
 	// Drain so the worker can exit if blocked on send.
 	for range r.batches {

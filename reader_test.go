@@ -2,7 +2,9 @@ package pugz
 
 import (
 	"bytes"
+	"errors"
 	"io"
+	"os"
 	"testing"
 
 	"repro/internal/fastq"
@@ -102,6 +104,75 @@ func TestStreamingReaderEarlyClose(t *testing.T) {
 	if err := r.Close(); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestStreamingReaderReadAfterClose pins the Read-after-Close error
+// contract: an early Close truncates the stream, so later Reads must
+// report ErrReaderClosed (matching os.ErrClosed) — never a clean
+// io.EOF a consumer could mistake for a complete stream. A Reader that
+// already delivered its whole stream keeps reporting io.EOF.
+func TestStreamingReaderReadAfterClose(t *testing.T) {
+	gz := gzCorpus(t, 20000, 38, 6)
+
+	t.Run("early-close", func(t *testing.T) {
+		r, err := NewReaderBytes(gz, StreamOptions{Threads: 2, BatchCompressedBytes: 64 << 10, MinChunk: 8 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 1000)
+		if _, err := r.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, err = r.Read(buf)
+		if !errors.Is(err, ErrReaderClosed) {
+			t.Fatalf("Read after Close: %v, want ErrReaderClosed", err)
+		}
+		if !errors.Is(err, os.ErrClosed) {
+			t.Fatalf("ErrReaderClosed should match os.ErrClosed, got %v", err)
+		}
+		if err == io.EOF {
+			t.Fatal("truncated-by-Close stream reported as clean EOF")
+		}
+		// The error is sticky and Close stays idempotent.
+		if _, err := r.Read(buf); !errors.Is(err, ErrReaderClosed) {
+			t.Fatalf("second Read after Close: %v", err)
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("close-before-first-read", func(t *testing.T) {
+		r, err := NewReaderBytes(gz, StreamOptions{Threads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Read(make([]byte, 16)); !errors.Is(err, ErrReaderClosed) {
+			t.Fatalf("Read on closed reader: %v, want ErrReaderClosed", err)
+		}
+	})
+
+	t.Run("complete-stream-keeps-eof", func(t *testing.T) {
+		r, err := NewReaderBytes(gz, StreamOptions{Threads: 2, BatchCompressedBytes: 64 << 10, MinChunk: 8 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, r); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Read(make([]byte, 16)); err != io.EOF {
+			t.Fatalf("Read after EOF+Close: %v, want io.EOF", err)
+		}
+	})
 }
 
 func TestStreamingReaderChecksumFailure(t *testing.T) {

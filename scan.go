@@ -42,7 +42,9 @@ func ScanBlocks(gz []byte) ([]Block, error) {
 // extents are tallied, back-references are bounds-checked against the
 // produced count, and for non-slice sources the compressed window
 // slides forward as blocks complete, so memory stays bounded by the
-// largest single block.
+// largest single block. The walk reads only the File's immutable
+// snapshot through a private window, so it is safe for concurrent use
+// alongside any other File method.
 func (f *File) ScanBlocks() ([]Block, error) {
 	w, err := f.openWindow(f.hdrLen, minWindowLoad)
 	if err != nil {
@@ -132,7 +134,8 @@ func FindBlock(gz []byte, fromByte int64) (int64, error) {
 // FindBlockAt is FindBlock over the File's byte source. For non-slice
 // sources the scan runs over an on-demand window that grows until a
 // confirmed start is found (with headroom so its confirmation blocks
-// are resident) or the source is exhausted.
+// are resident) or the source is exhausted. Safe for concurrent use
+// (private window over the immutable snapshot).
 func (f *File) FindBlockAt(fromByte int64) (int64, error) {
 	from := fromByte
 	if from < f.hdrLen {

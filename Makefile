@@ -54,7 +54,7 @@ fuzz-smoke:
 # `make bench PR=5` writes BENCH_PR5.json — and commit the file;
 # `make benchdiff` (and CI) compares the two most recent captures.
 # BENCHTIME can be raised for stable numbers on quiet hardware.
-PR ?= 6
+PR ?= 7
 BENCHTIME ?= 1x
 BENCHOUT ?= BENCH_PR$(PR).json
 bench:

@@ -18,9 +18,11 @@ import (
 
 	pugz "repro"
 	"repro/internal/blockfind"
+	"repro/internal/deflate"
 	"repro/internal/dna"
 	"repro/internal/experiments"
 	"repro/internal/fastq"
+	"repro/internal/flate"
 	"repro/internal/gzipx"
 	"repro/internal/tracked"
 )
@@ -677,5 +679,72 @@ func BenchmarkFileConcurrentReadAt(b *testing.B) {
 			}
 			wg.Wait()
 		})
+	}
+}
+
+// --- PR 7: multi-symbol token decode ---------------------------------
+
+// rawDeflate strips fixGz down to its raw DEFLATE payload once.
+var (
+	rawOnce    sync.Once
+	rawPayload []byte
+	rawMidBit  int64 // a block boundary past the first window
+)
+
+func loadRawDeflate(b *testing.B) {
+	b.Helper()
+	loadFixtures(b)
+	rawOnce.Do(func() {
+		payload, err := deflate.Compress(fixFastq, 6)
+		if err != nil {
+			panic(err)
+		}
+		rawPayload = payload
+		_, spans, err := flate.DecompressRecorded(payload, 0, true)
+		if err != nil {
+			panic(err)
+		}
+		for _, sp := range spans {
+			if sp.OutStart > 32<<10 {
+				rawMidBit = sp.Event.StartBit
+				break
+			}
+		}
+	})
+}
+
+// BenchmarkFlateDecodeTokens measures the exact sequential token loop
+// in isolation — no gzip framing, no checksum, no chunking — so the
+// multi-symbol fast path's effect on the inner decode is visible
+// directly. Throughput is compressed MB/s like the paper's tables.
+func BenchmarkFlateDecodeTokens(b *testing.B) {
+	b.ReportAllocs()
+	loadRawDeflate(b)
+	b.SetBytes(int64(len(rawPayload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flate.DecompressAll(rawPayload, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrackedPass1 measures the symbolic pass-1 decode from a
+// mid-stream block boundary with a fully undetermined context — the
+// per-chunk work of the paper's parallel first pass.
+func BenchmarkTrackedPass1(b *testing.B) {
+	b.ReportAllocs()
+	loadRawDeflate(b)
+	if rawMidBit == 0 {
+		b.Fatal("no mid-stream block boundary found")
+	}
+	b.SetBytes(int64(len(rawPayload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := tracked.DecodeFrom(rawPayload, rawMidBit, tracked.DecodeOptions{SizeHint: len(fixFastq)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Release()
 	}
 }

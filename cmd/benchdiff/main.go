@@ -28,9 +28,10 @@ import (
 // the headline whole-file decompression, the bounded-memory streaming
 // reader, the seekable-File read paths (including the tail-only Size
 // measuring pass and the concurrent-reader scaling curve), the pass-2
-// translation kernels, and the skip-mode index build. Everything else
-// is warn-only.
-const defaultGate = `^Benchmark(Table2Pugz32|StreamingReader|FileReadAt|FileConcurrentReadAt|FileDeepSeek|FileSize|Pass2Translate|ResolveDensity|BuildIndex)`
+// translation kernels, the skip-mode index build, and the two inner
+// token loops (exact and symbolic) behind the multi-symbol fast path.
+// Everything else is warn-only.
+const defaultGate = `^Benchmark(Table2Pugz32|StreamingReader|FileReadAt|FileConcurrentReadAt|FileDeepSeek|FileSize|Pass2Translate|ResolveDensity|BuildIndex|FlateDecodeTokens|TrackedPass1)`
 
 func main() {
 	gate := flag.String("gate", defaultGate, "regexp of benchmark names whose regressions fail (others warn)")

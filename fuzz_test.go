@@ -64,6 +64,19 @@ func fuzzSeeds(f *testing.F) [][]byte {
 		f.Fatal(err)
 	}
 	add(skipSeed)
+	// Fast-loop seed: a tiny skewed alphabet compresses to very short
+	// literal codes (2-3 bits), the regime where the multi-symbol decode
+	// packs two literals per table probe — mutations around this seed
+	// stress the packed-pair and budget-trim paths of the fast kernel.
+	dense := make([]byte, 48<<10)
+	for i := range dense {
+		dense[i] = "eetta o"[i*2654435761>>27%7]
+	}
+	denseSeed, err := Compress(dense, 9)
+	if err != nil {
+		f.Fatal(err)
+	}
+	add(denseSeed)
 	// Damaged variants: truncation, a flipped payload byte, a flipped
 	// trailer byte, garbage after a valid member.
 	add(m2[:len(m2)/2])

@@ -271,6 +271,135 @@ func TestQuickRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRefillNearEOF pins the tail behavior of the bulk refill: for
+// every start offset within the last 10 bytes of a buffer — including
+// every mid-byte bit phase — BitPos/Len must stay exact, Peek must
+// zero-fill past the end without over-reading, and the bit sequence
+// must match a bit-at-a-time reference read. blockfind candidate
+// confirmation near the end of a member depends on exactly this.
+func TestRefillNearEOF(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	data := make([]byte, 64)
+	rng.Read(data)
+	total := int64(len(data)) * 8
+	for off := total - 10*8; off <= total; off++ {
+		r, err := NewReaderAt(data, off)
+		if err != nil {
+			t.Fatalf("offset %d: %v", off, err)
+		}
+		if got := r.BitPos(); got != off {
+			t.Fatalf("offset %d: BitPos %d", off, got)
+		}
+		// Reference: extract bits directly from the byte slice.
+		ref := func(pos int64) uint32 {
+			if pos >= total {
+				return 0
+			}
+			return uint32(data[pos/8]>>(pos%8)) & 1
+		}
+		// Peek in every width up to 32 at this position: high bits past
+		// EOF must read as zero, and the position must not move.
+		for w := uint(1); w <= 32; w++ {
+			want := uint32(0)
+			for b := uint(0); b < w; b++ {
+				want |= ref(off+int64(b)) << b
+			}
+			if got := r.Peek(w); got != want {
+				t.Fatalf("offset %d width %d: Peek %#x want %#x", off, w, got, want)
+			}
+			if got := r.BitPos(); got != off {
+				t.Fatalf("offset %d width %d: Peek moved BitPos to %d", off, w, got)
+			}
+		}
+		// Drain the tail with mixed-width Takes and verify each value
+		// and every intermediate BitPos.
+		pos := off
+		for r.Len() > 0 {
+			n := uint(1 + rng.Intn(13))
+			if int64(n) > r.Len() {
+				n = uint(r.Len())
+			}
+			want := uint32(0)
+			for b := uint(0); b < n; b++ {
+				want |= ref(pos+int64(b)) << b
+			}
+			got, err := r.Take(n)
+			if err != nil {
+				t.Fatalf("offset %d pos %d: Take(%d): %v", off, pos, n, err)
+			}
+			if got != want {
+				t.Fatalf("offset %d pos %d: Take(%d) = %#x want %#x", off, pos, n, got, want)
+			}
+			pos += int64(n)
+			if got := r.BitPos(); got != pos {
+				t.Fatalf("offset %d: BitPos %d want %d", off, got, pos)
+			}
+		}
+		if _, err := r.Take(1); !errors.Is(err, ErrUnderflow) {
+			t.Fatalf("offset %d: want underflow at end, got %v", off, err)
+		}
+	}
+}
+
+// TestRefillPrimitives checks the fast-loop contract: after Refill,
+// Bits() >= 56 away from EOF (and exactly the remaining count near
+// it), Acc() exposes the same bits Peek reports, and Consume moves
+// BitPos exactly like Drop.
+func TestRefillPrimitives(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := make([]byte, 256)
+	rng.Read(data)
+	r := NewReader(data)
+	total := int64(len(data)) * 8
+	for r.Len() > 0 {
+		r.Refill()
+		remaining := total - r.BitPos()
+		if remaining >= 56 && r.Bits() < 56 {
+			t.Fatalf("BitPos %d: Refill left only %d bits", r.BitPos(), r.Bits())
+		}
+		if remaining < 56 && int64(r.Bits()) != remaining {
+			t.Fatalf("BitPos %d: Bits %d want %d at tail", r.BitPos(), r.Bits(), remaining)
+		}
+		if got, want := uint32(r.Acc())&0xffff, r.Peek(16); got != want {
+			t.Fatalf("BitPos %d: Acc low bits %#x, Peek %#x", r.BitPos(), got, want)
+		}
+		n := uint(1 + rng.Intn(48))
+		if n > r.Bits() {
+			n = r.Bits()
+		}
+		before := r.BitPos()
+		r.Consume(n)
+		if got := r.BitPos(); got != before+int64(n) {
+			t.Fatalf("Consume(%d) moved BitPos %d -> %d", n, before, got)
+		}
+	}
+}
+
+// TestRefillIdempotentTail covers the accumulator invariant the bulk
+// load depends on: bits above Bits() are re-ORed by later refills, so
+// interleaving Refill with byte-granular reads must stay exact right
+// through the last 8 bytes.
+func TestRefillIdempotentTail(t *testing.T) {
+	data := []byte{0x01, 0x23, 0x45, 0x67, 0x89, 0xab, 0xcd, 0xef, 0x10, 0x32}
+	r := NewReader(data)
+	r.Refill()
+	// Consume down into the tail in 4-bit nibbles, refilling eagerly.
+	want := []uint32{0x1, 0x0, 0x3, 0x2, 0x5, 0x4, 0x7, 0x6, 0x9, 0x8, 0xb, 0xa, 0xd, 0xc, 0xf, 0xe, 0x0, 0x1, 0x2, 0x3}
+	for i, wv := range want {
+		r.Refill()
+		got, err := r.Take(4)
+		if err != nil {
+			t.Fatalf("nibble %d: %v", i, err)
+		}
+		if got != wv {
+			t.Fatalf("nibble %d: got %#x want %#x", i, got, wv)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("expected exhausted reader, Len=%d", r.Len())
+	}
+}
+
 func TestQuickReaderAtConsistency(t *testing.T) {
 	// Reading k bits from offset o equals reading o+k bits from 0 and
 	// discarding the first o.

@@ -8,6 +8,7 @@
 package bitio
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -74,13 +75,60 @@ func (r *Reader) Reset(bitOffset int64) error {
 	return nil
 }
 
-// refill tops up the accumulator with whole bytes.
+// refill tops up the accumulator with whole bytes. Away from the end
+// of the input it loads eight bytes at once and advances the byte
+// cursor by however many whole bytes fit: with n valid bits the load
+// contributes bits n..63, of which floor((64-n)/8) = (63-n)>>3 whole
+// bytes are newly accounted, leaving n' = n|56 (n mod 8 is preserved,
+// so byte alignment and BitPos are bit-exact). The bits above n' in
+// the accumulator are the correct continuation of the stream — the
+// next refill re-ORs the same values, so they are harmless and every
+// consumer masks to the bits it asked for.
+//
+// Within 8 bytes of the end the slow byte-at-a-time loop takes over,
+// so the reader never loads past len(data).
 func (r *Reader) refill() {
+	if r.n >= 56 {
+		return
+	}
+	if r.pos+8 <= len(r.data) {
+		r.acc |= binary.LittleEndian.Uint64(r.data[r.pos:]) << r.n
+		r.pos += int((63 - r.n) >> 3)
+		r.n |= 56
+		return
+	}
+	r.refillSlow()
+}
+
+func (r *Reader) refillSlow() {
 	for r.n <= 56 && r.pos < len(r.data) {
 		r.acc |= uint64(r.data[r.pos]) << r.n
 		r.pos++
 		r.n += 8
 	}
+}
+
+// Refill tops up the accumulator. After the call, Bits() >= 56 unless
+// fewer bits than that remain in the input. This is the fast-loop
+// entry point: one Refill covers a worst-case DEFLATE token
+// (litlen code + extra + dist code + extra <= 48 bits).
+func (r *Reader) Refill() { r.refill() }
+
+// Bits returns the number of valid buffered bits in the accumulator.
+func (r *Reader) Bits() uint { return r.n }
+
+// Acc returns the accumulator: the next Bits() unread bits of the
+// stream, LSB-first. Bits at positions >= Bits() are either zero or
+// the correct continuation of the stream (never garbage), so callers
+// that mask to at most Bits() bits are exact.
+func (r *Reader) Acc() uint64 { return r.acc }
+
+// Consume discards count buffered bits with no underflow check. The
+// caller must guarantee count <= Bits(); the fast decode loops do so
+// by requiring Bits() >= 48 before decoding a token.
+func (r *Reader) Consume(count uint) {
+	r.acc >>= count
+	r.n -= count
 }
 
 // BitPos returns the absolute bit offset of the next unread bit.

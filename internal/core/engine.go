@@ -479,6 +479,18 @@ func (s *stopAt) Literal(b byte) error         { return s.inner.Literal(b) }
 func (s *stopAt) Match(l, d int) error         { return s.inner.Match(l, d) }
 func (s *stopAt) BlockEnd(nextBit int64) error { return s.inner.BlockEnd(nextBit) }
 
+// FastTokens forwards the multi-symbol fast loop to the wrapped sink
+// when it supports one: the stop-bit check lives in BlockStart, so the
+// token loop itself needs no interception. Without this forwarder the
+// wrapper would hide the sink's fast path behind the Visitor interface
+// and silently de-optimise every non-final chunk.
+func (s *stopAt) FastTokens(fc *flate.FastCtx) (int64, bool, error) {
+	if fs, ok := s.inner.(flate.FastTokenSink); ok {
+		return fs.FastTokens(fc)
+	}
+	return 0, false, nil
+}
+
 // decodePlain decodes a chunk whose initial context is known exactly:
 // nil ctx means the true start of the stream (back-references before
 // the start are rejected, as in a normal gunzip); otherwise the sink is

@@ -74,6 +74,11 @@ type Options struct {
 	// 4 MiB / 1 KiB.
 	MaxBlockOutput int
 	MinBlockOutput int
+	// NoFast disables the multi-symbol fast token loop, forcing every
+	// token through the scalar path. Output is bit-for-bit identical
+	// either way; differential tests use this to pin the fast loop to
+	// the scalar reference, and it doubles as a debugging kill switch.
+	NoFast bool
 }
 
 const (
@@ -110,6 +115,15 @@ type Decoder struct {
 
 	lengths [maxLitLenSyms + maxDistSyms]uint8
 	clLens  [numCodeLenSyms]uint8
+	// hlit/hdist remember the current dynamic header's alphabet sizes
+	// so the fast tables can be built from the same length slices.
+	hlit, hdist int
+
+	// Multi-symbol fast tables (built lazily, memoized on the tree
+	// description) and the per-block context handed to FastTokenSinks.
+	fastLit  huffman.LitLenFast
+	fastDist huffman.DistFast
+	fastCtx  FastCtx
 
 	valid func(byte) bool
 	// produced counts bytes emitted in the current block (validation).
@@ -146,6 +160,7 @@ func (d *Decoder) reset(opts Options) {
 	d.produced = 0
 	d.total = 0
 	d.trackStart = false
+	d.fastCtx = FastCtx{}
 }
 
 // decoderPool recycles Decoders. A Decoder carries several KiB of
@@ -293,6 +308,7 @@ func (d *Decoder) readDynamicHeader(r *bitio.Reader) error {
 	hlit := int(counts&0x1f) + 257
 	hdist := int(counts>>5&0x1f) + 1
 	hclen := int(counts>>10&0xf) + 4
+	d.hlit, d.hdist = hlit, hdist
 	quiet := d.opts.Validate // probe mode: bare sentinels, no alloc
 	if hlit > maxLitLenSyms {
 		if quiet {
@@ -417,6 +433,24 @@ func (d *Decoder) decodeCompressed(r *bitio.Reader, v Visitor, ev BlockEvent) er
 	return d.decodeCompressedWith(r, v, ev, &d.litLen, &d.dist)
 }
 
+// fastTablesFor returns the multi-symbol tables for the current block,
+// building (or memo-hitting) the dynamic ones from the header's code
+// lengths. A nil return degrades to the scalar loop — e.g. for the
+// degenerate no-distance-codes description.
+func (d *Decoder) fastTablesFor(bt BlockType) (*huffman.LitLenFast, *huffman.DistFast) {
+	if bt == Fixed {
+		return fixedFastTables()
+	}
+	total := d.hlit + d.hdist
+	if d.fastLit.Init(d.lengths[:d.hlit], lengthBase[:], lengthExtra[:]) != nil {
+		return nil, nil
+	}
+	if d.fastDist.Init(d.lengths[d.hlit:total], distBase[:], distExtra[:]) != nil {
+		return nil, nil
+	}
+	return &d.fastLit, &d.fastDist
+}
+
 // decodeCompressedWith runs the token loop for a fixed or dynamic
 // block over explicit Huffman tables (fixed blocks pass the shared
 // package-level constants).
@@ -426,7 +460,36 @@ func (d *Decoder) decodeCompressedWith(r *bitio.Reader, v Visitor, ev BlockEvent
 	}
 	d.produced = 0
 	validate := d.opts.Validate
+
+	// Fast path: a non-validating decode into a sink that exposes its
+	// output window runs the multi-symbol loop over 64-bit refills.
+	// The scalar loop below remains the reference: it finishes stream
+	// tails (< 48 buffered bits), and re-decodes any token the fast
+	// loop bailed on so anomalies keep their canonical errors.
+	var fc *FastCtx
+	if !validate && !d.opts.NoFast {
+		if fs, ok := v.(FastTokenSink); ok {
+			if flit, fdist := d.fastTablesFor(ev.Type); flit != nil {
+				fc = &d.fastCtx
+				*fc = FastCtx{R: r, Lit: flit, Dist: fdist, Track: d.trackStart, sink: fs}
+			}
+		}
+	}
+
 	for {
+		if fc != nil {
+			fc.Produced = d.total
+			n, eob, err := fc.sink.FastTokens(fc)
+			d.total += n
+			if err != nil {
+				return err
+			}
+			if eob {
+				return v.BlockEnd(r.BitPos())
+			}
+			// Fall through: decode exactly one token the scalar way,
+			// then hand control back to the fast loop.
+		}
 		sym, err := litLen.Decode(r)
 		if err != nil {
 			if validate {

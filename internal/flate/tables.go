@@ -139,3 +139,25 @@ var (
 	fixedLit  huffman.Decoder
 	fixedDist huffman.Decoder
 )
+
+// fixedFastTables returns the shared multi-symbol fast tables of the
+// fixed trees, built on first use and immutable afterwards. Lookups
+// are plain slice reads, so concurrent fast loops share one copy.
+func fixedFastTables() (*huffman.LitLenFast, *huffman.DistFast) {
+	fixedFastOnce.Do(func() {
+		var err error
+		if err = fixedFastLit.Init(fixedLitLenLengths(), lengthBase[:], lengthExtra[:]); err == nil {
+			err = fixedFastDist.Init(fixedDistLengths(), distBase[:], distExtra[:])
+		}
+		if err != nil {
+			panic("flate: fixed fast trees: " + err.Error()) // static tables; cannot fail
+		}
+	})
+	return &fixedFastLit, &fixedFastDist
+}
+
+var (
+	fixedFastOnce sync.Once
+	fixedFastLit  huffman.LitLenFast
+	fixedFastDist huffman.DistFast
+)

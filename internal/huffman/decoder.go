@@ -13,6 +13,7 @@
 package huffman
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 )
@@ -65,6 +66,14 @@ type Decoder struct {
 	subIndex [1 << primaryBits]int32
 	subGen   [1 << primaryBits]uint32
 	gen      uint32
+	// memo of the last successful Init: compressors commonly reuse one
+	// tree description across consecutive blocks of a member, and the
+	// tables are a pure function of (lengths, allowIncomplete), so an
+	// identical re-Init skips the rebuild entirely.
+	memoLens  [288]uint8
+	memoN     int
+	memoAllow bool
+	memoOK    bool
 }
 
 // Complete reports whether the code set is exactly full (Kraft sum 1).
@@ -90,6 +99,11 @@ func NewDecoder(lengths []uint8, allowIncomplete bool) (*Decoder, error) {
 // single code, and zlib in practice accepts any under-subscription for
 // distances. Oversubscribed sets are always rejected.
 func (d *Decoder) Init(lengths []uint8, allowIncomplete bool) error {
+	if d.memoOK && allowIncomplete == d.memoAllow && len(lengths) == d.memoN &&
+		bytes.Equal(lengths, d.memoLens[:d.memoN]) {
+		return nil
+	}
+	d.memoOK = false
 	var count [MaxCodeLen + 1]int
 	total := 0
 	for _, l := range lengths {
@@ -184,6 +198,12 @@ func (d *Decoder) Init(lengths []uint8, allowIncomplete bool) error {
 		for i := high; i < 1<<subWidth; i += step {
 			tab[i] = directEntry(uint16(sym), l)
 		}
+	}
+	if len(lengths) <= len(d.memoLens) {
+		copy(d.memoLens[:], lengths)
+		d.memoN = len(lengths)
+		d.memoAllow = allowIncomplete
+		d.memoOK = true
 	}
 	return nil
 }

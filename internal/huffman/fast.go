@@ -1,0 +1,403 @@
+package huffman
+
+import "bytes"
+
+// This file implements the multi-symbol decode tables behind the fast
+// DEFLATE token loop (the libdeflate/klauspost technique): a wide
+// primary literal/length table whose entries carry up to two packed
+// literals or a fused length (base + extra-bit count) per probe, and a
+// fused distance table. Long codes keep the familiar two-level
+// fallback. The tables are built only for non-validating decodes — the
+// block scanner's millions of probe offsets never pay for them — and
+// are memoized on the code-length description like Decoder.Init.
+//
+// Entries answer everything the hot loop needs from a single uint32,
+// so the loop runs on a 64-bit accumulator with exactly one bounds-
+// checked table probe per code and no interface dispatch.
+
+const (
+	// FastBits is the index width of the primary literal/length table.
+	// 11 resolves every fixed-tree code and nearly all dynamic-tree
+	// codes in one probe while leaving room to pack two short literals
+	// (l1+l2 <= 11) into one entry.
+	FastBits = 11
+	fastMask = 1<<FastBits - 1
+
+	// DistFastBits is the index width of the distance table. Distance
+	// alphabets are tiny (30 symbols), so 9 bits covers almost every
+	// dynamic tree with a 512-entry table.
+	DistFastBits = 9
+	distFastMask = 1<<DistFastBits - 1
+)
+
+// Kinds of FastEntry. The zero entry (kind FastInvalid, nbits 0) marks
+// a cell the fast loop must bail on: an unused code point, or a symbol
+// (286/287) whose precise error the scalar loop reports.
+const (
+	FastInvalid = 0
+	FastLit1    = 1 // one literal byte
+	FastLit2    = 2 // two packed literal bytes
+	FastLen     = 3 // match length: fused base + extra-bit count
+	FastEOB     = 4 // end-of-block symbol
+	FastSub     = 5 // long code: indirect through a sub-table
+)
+
+// FastEntry packs one literal/length decode-table cell:
+//
+//	bits 0..5   nbits — code bits consumed by accepting the entry
+//	            (for FastLit2 the sum of both code lengths; extra bits
+//	            of a FastLen entry are consumed separately)
+//	bits 6..8   kind
+//	bits 9..31  payload:
+//	            FastLit1:  literal byte at 9..16
+//	            FastLit2:  first byte 9..16, second byte 17..24,
+//	                       first code length 25..28
+//	            FastLen:   extra-bit count 9..12, length base 13..22
+//	            FastSub:   sub-table id 9..24
+type FastEntry uint32
+
+// Kind returns the entry kind (FastInvalid..FastSub).
+func (e FastEntry) Kind() uint { return uint(e>>6) & 7 }
+
+// NBits returns the code bits consumed by accepting this entry.
+func (e FastEntry) NBits() uint { return uint(e & 63) }
+
+// Lit1 returns the (first) literal byte of a FastLit1/FastLit2 entry.
+func (e FastEntry) Lit1() byte { return byte(e >> 9) }
+
+// Lit2 returns the second literal byte of a FastLit2 entry.
+func (e FastEntry) Lit2() byte { return byte(e >> 17) }
+
+// Lit1Bits returns the first code's length within a FastLit2 entry —
+// what to consume when only the first literal fits an output budget.
+func (e FastEntry) Lit1Bits() uint { return uint(e>>25) & 15 }
+
+// LenExtra returns the extra-bit count of a FastLen entry.
+func (e FastEntry) LenExtra() uint { return uint(e>>9) & 15 }
+
+// LenBase returns the length base of a FastLen entry.
+func (e FastEntry) LenBase() uint32 { return uint32(e>>13) & 1023 }
+
+func (e FastEntry) subID() int { return int(e>>9) & 0xffff }
+
+// LitLenFast is the multi-symbol literal/length decode table. The zero
+// value is empty; (re)build with Init. Not safe for concurrent Init,
+// safe for concurrent lookups afterwards.
+type LitLenFast struct {
+	tab      [1 << FastBits]FastEntry
+	sub      [][]FastEntry
+	subUsed  int
+	subWidth uint
+	// subIndex/subGen reset between Inits via the generation trick,
+	// exactly as in Decoder.
+	subIndex [1 << FastBits]int32
+	subGen   [1 << FastBits]uint32
+	gen      uint32
+
+	memoLens [288]uint8
+	memoN    int
+	memoOK   bool
+}
+
+// Lookup probes the primary table with the low FastBits of acc.
+func (t *LitLenFast) Lookup(acc uint64) FastEntry {
+	return t.tab[uint32(acc)&fastMask]
+}
+
+// SubLookup resolves a FastSub entry with further bits of acc. The
+// returned entry is FastLit1, FastLen, FastEOB, or FastInvalid; its
+// NBits is the full code length.
+func (t *LitLenFast) SubLookup(e FastEntry, acc uint64) FastEntry {
+	return t.sub[e.subID()][(uint32(acc)>>FastBits)&(1<<t.subWidth-1)]
+}
+
+// Init (re)builds the table from per-symbol code lengths. lenBase and
+// lenExtra translate length symbols 257.. into fused entries (the
+// caller passes DEFLATE's RFC tables); symbols beyond them (286/287)
+// and unused code points stay FastInvalid so the scalar loop owns the
+// error reporting. Init performs no Kraft validation: the caller has
+// already built the exact Decoder for the same description, which
+// rejects malformed trees first.
+func (t *LitLenFast) Init(lengths []uint8, lenBase []uint16, lenExtra []uint8) error {
+	if t.memoOK && len(lengths) == t.memoN && bytes.Equal(lengths, t.memoLens[:t.memoN]) {
+		return nil
+	}
+	t.memoOK = false
+
+	var count [MaxCodeLen + 1]int
+	total := 0
+	for _, l := range lengths {
+		if l > MaxCodeLen {
+			return ErrBadLength
+		}
+		if l > 0 {
+			count[l]++
+			total++
+		}
+	}
+	if total == 0 {
+		return ErrNoCodes
+	}
+	var nextCode [MaxCodeLen + 2]uint32
+	code := uint32(0)
+	maxLen := uint(0)
+	for l := 1; l <= MaxCodeLen; l++ {
+		code = (code + uint32(count[l-1])) << 1
+		nextCode[l] = code
+		if count[l] > 0 {
+			maxLen = uint(l)
+		}
+	}
+
+	t.gen++
+	t.subUsed = 0
+	clear(t.tab[:])
+	t.subWidth = 0
+	if maxLen > FastBits {
+		t.subWidth = maxLen - FastBits
+	}
+
+	for sym, l0 := range lengths {
+		if l0 == 0 {
+			continue
+		}
+		l := uint(l0)
+		c := nextCode[l0]
+		nextCode[l0]++
+		rc := reverseBits(c, l)
+		e := litLenEntry(sym, l, lenBase, lenExtra)
+		if l <= FastBits {
+			step := uint32(1) << l
+			for i := rc; i < 1<<FastBits; i += step {
+				t.tab[i] = e
+			}
+			continue
+		}
+		prefix := rc & fastMask
+		var id int
+		if t.subGen[prefix] == t.gen {
+			id = int(t.subIndex[prefix])
+		} else {
+			id = t.subUsed
+			t.subUsed++
+			if id == len(t.sub) {
+				t.sub = append(t.sub, make([]FastEntry, 1<<t.subWidth))
+			} else if len(t.sub[id]) < 1<<t.subWidth {
+				t.sub[id] = make([]FastEntry, 1<<t.subWidth)
+			} else {
+				t.sub[id] = t.sub[id][:1<<t.subWidth]
+				clear(t.sub[id])
+			}
+			t.subIndex[prefix] = int32(id)
+			t.subGen[prefix] = t.gen
+			t.tab[prefix] = FastEntry(FastBits|FastSub<<6) | FastEntry(id)<<9
+		}
+		tab := t.sub[id]
+		high := rc >> FastBits
+		step := uint32(1) << (l - FastBits)
+		for i := high; i < 1<<t.subWidth; i += step {
+			tab[i] = e
+		}
+	}
+
+	// Two-literal packing: a cell whose first code is a short literal
+	// is followed (within the same probe) by the cell's remaining
+	// FastBits-l1 bits; when those fully determine a second literal
+	// (l1+l2 <= FastBits) the pair merges into one FastLit2 entry.
+	// Descending order keeps the read of tab[i>>l1] on not-yet-packed
+	// cells: i>>l1 < i for i >= 1, and cell 0 reads itself pre-write.
+	for i := len(t.tab) - 1; i >= 0; i-- {
+		e := t.tab[i]
+		if e.Kind() != FastLit1 {
+			continue
+		}
+		l1 := e.NBits()
+		e2 := t.tab[uint32(i)>>l1]
+		if e2.Kind() != FastLit1 {
+			continue
+		}
+		l2 := e2.NBits()
+		if l1+l2 > FastBits {
+			continue
+		}
+		t.tab[i] = FastEntry((l1+l2)|FastLit2<<6) |
+			FastEntry(e.Lit1())<<9 | FastEntry(e2.Lit1())<<17 | FastEntry(l1)<<25
+	}
+
+	if len(lengths) <= len(t.memoLens) {
+		copy(t.memoLens[:], lengths)
+		t.memoN = len(lengths)
+		t.memoOK = true
+	}
+	return nil
+}
+
+func litLenEntry(sym int, l uint, lenBase []uint16, lenExtra []uint8) FastEntry {
+	switch {
+	case sym < 256:
+		return FastEntry(l|FastLit1<<6) | FastEntry(sym)<<9
+	case sym == 256:
+		return FastEntry(l | FastEOB<<6)
+	default:
+		idx := sym - 257
+		if idx >= len(lenBase) {
+			return 0 // 286/287: bail; the scalar loop names the error
+		}
+		return FastEntry(l|FastLen<<6) |
+			FastEntry(lenExtra[idx])<<9 | FastEntry(lenBase[idx])<<13
+	}
+}
+
+// DistEntry packs one distance decode-table cell:
+//
+//	bits 0..5   code bits
+//	bits 6..9   extra-bit count
+//	bits 10..11 kind: 0 invalid, 1 direct, 2 sub
+//	bits 12..27 distance base, or sub-table id
+type DistEntry uint32
+
+const (
+	distDirect = 1
+	distSub    = 2
+)
+
+// NBits returns the code bits consumed by accepting this entry.
+func (e DistEntry) NBits() uint { return uint(e & 63) }
+
+// ExtraBits returns the extra-bit count of a direct entry.
+func (e DistEntry) ExtraBits() uint { return uint(e>>6) & 15 }
+
+// Direct reports whether the entry resolves a distance.
+func (e DistEntry) Direct() bool { return uint(e>>10)&3 == distDirect }
+
+// Sub reports whether the entry indirects through a sub-table.
+func (e DistEntry) Sub() bool { return uint(e>>10)&3 == distSub }
+
+// Base returns the distance base of a direct entry.
+func (e DistEntry) Base() uint32 { return uint32(e>>12) & 0xffff }
+
+func (e DistEntry) subID() int { return int(e>>12) & 0xffff }
+
+// DistFast is the fused distance decode table: one probe yields code
+// length, extra-bit count, and distance base together.
+type DistFast struct {
+	tab      [1 << DistFastBits]DistEntry
+	sub      [][]DistEntry
+	subUsed  int
+	subWidth uint
+	subIndex [1 << DistFastBits]int32
+	subGen   [1 << DistFastBits]uint32
+	gen      uint32
+
+	memoLens [32]uint8
+	memoN    int
+	memoOK   bool
+}
+
+// Lookup probes the primary table with the low DistFastBits of acc.
+func (t *DistFast) Lookup(acc uint64) DistEntry {
+	return t.tab[uint32(acc)&distFastMask]
+}
+
+// SubLookup resolves a Sub entry with further bits of acc.
+func (t *DistFast) SubLookup(e DistEntry, acc uint64) DistEntry {
+	return t.sub[e.subID()][(uint32(acc)>>DistFastBits)&(1<<t.subWidth-1)]
+}
+
+// Init (re)builds the table from per-symbol code lengths; base/extra
+// are DEFLATE's distance tables. Symbols beyond them (30/31) and
+// unused code points stay invalid, and incomplete trees (legal for
+// distances) simply leave holes — the fast loop bails to the scalar
+// path for the canonical error in every such case.
+func (t *DistFast) Init(lengths []uint8, base []uint32, extra []uint8) error {
+	if t.memoOK && len(lengths) == t.memoN && bytes.Equal(lengths, t.memoLens[:t.memoN]) {
+		return nil
+	}
+	t.memoOK = false
+
+	var count [MaxCodeLen + 1]int
+	total := 0
+	for _, l := range lengths {
+		if l > MaxCodeLen {
+			return ErrBadLength
+		}
+		if l > 0 {
+			count[l]++
+			total++
+		}
+	}
+	if total == 0 {
+		return ErrNoCodes
+	}
+	var nextCode [MaxCodeLen + 2]uint32
+	code := uint32(0)
+	maxLen := uint(0)
+	for l := 1; l <= MaxCodeLen; l++ {
+		code = (code + uint32(count[l-1])) << 1
+		nextCode[l] = code
+		if count[l] > 0 {
+			maxLen = uint(l)
+		}
+	}
+
+	t.gen++
+	t.subUsed = 0
+	clear(t.tab[:])
+	t.subWidth = 0
+	if maxLen > DistFastBits {
+		t.subWidth = maxLen - DistFastBits
+	}
+
+	for sym, l0 := range lengths {
+		if l0 == 0 {
+			continue
+		}
+		l := uint(l0)
+		c := nextCode[l0]
+		nextCode[l0]++
+		rc := reverseBits(c, l)
+		var e DistEntry
+		if sym < len(base) {
+			e = DistEntry(l|uint(extra[sym])<<6|distDirect<<10) | DistEntry(base[sym])<<12
+		}
+		if l <= DistFastBits {
+			step := uint32(1) << l
+			for i := rc; i < 1<<DistFastBits; i += step {
+				t.tab[i] = e
+			}
+			continue
+		}
+		prefix := rc & distFastMask
+		var id int
+		if t.subGen[prefix] == t.gen {
+			id = int(t.subIndex[prefix])
+		} else {
+			id = t.subUsed
+			t.subUsed++
+			if id == len(t.sub) {
+				t.sub = append(t.sub, make([]DistEntry, 1<<t.subWidth))
+			} else if len(t.sub[id]) < 1<<t.subWidth {
+				t.sub[id] = make([]DistEntry, 1<<t.subWidth)
+			} else {
+				t.sub[id] = t.sub[id][:1<<t.subWidth]
+				clear(t.sub[id])
+			}
+			t.subIndex[prefix] = int32(id)
+			t.subGen[prefix] = t.gen
+			t.tab[prefix] = DistEntry(DistFastBits|distSub<<10) | DistEntry(id)<<12
+		}
+		tab := t.sub[id]
+		high := rc >> DistFastBits
+		step := uint32(1) << (l - DistFastBits)
+		for i := high; i < 1<<t.subWidth; i += step {
+			tab[i] = e
+		}
+	}
+
+	if len(lengths) <= len(t.memoLens) {
+		copy(t.memoLens[:], lengths)
+		t.memoN = len(lengths)
+		t.memoOK = true
+	}
+	return nil
+}

@@ -1,0 +1,320 @@
+package huffman
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitio"
+)
+
+// RFC 1951 length/distance tables, duplicated here so the differential
+// tests can interpret fused entries without importing internal/flate
+// (which imports this package).
+var tLenBase = []uint16{
+	3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31,
+	35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258,
+}
+
+var tLenExtra = []uint8{
+	0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2,
+	3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+}
+
+var tDistBase = []uint32{
+	1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193,
+	257, 385, 513, 769, 1025, 1537, 2049, 3073, 4097, 6145,
+	8193, 12289, 16385, 24577,
+}
+
+var tDistExtra = []uint8{
+	0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6,
+	7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13,
+}
+
+// randLengths builds a random exactly-complete canonical code-length
+// assignment over nsym symbols of an alphabet of size total, by
+// repeatedly splitting leaves of an implicit code tree.
+func randLengths(rng *rand.Rand, total, nsym, maxLen int) []uint8 {
+	depths := []int{1, 1}
+	for len(depths) < nsym {
+		i := rng.Intn(len(depths))
+		if depths[i] >= maxLen {
+			continue
+		}
+		depths[i]++
+		depths = append(depths, depths[i])
+	}
+	lengths := make([]uint8, total)
+	perm := rng.Perm(total)
+	for i, d := range depths {
+		lengths[perm[i]] = uint8(d)
+	}
+	return lengths
+}
+
+// checkLitLenAgainstDecoder cross-checks every fast-table outcome for
+// random bit patterns against the exact two-level Decoder.
+func checkLitLenAgainstDecoder(t *testing.T, rng *rand.Rand, lengths []uint8) {
+	t.Helper()
+	dec, err := NewDecoder(lengths, false)
+	if err != nil {
+		t.Fatalf("Decoder.Init: %v", err)
+	}
+	var fast LitLenFast
+	if err := fast.Init(lengths, tLenBase, tLenExtra); err != nil {
+		t.Fatalf("LitLenFast.Init: %v", err)
+	}
+	buf := make([]byte, 8)
+	for trial := 0; trial < 4096; trial++ {
+		rng.Read(buf)
+		x := uint64(buf[0]) | uint64(buf[1])<<8 | uint64(buf[2])<<16 | uint64(buf[3])<<24 |
+			uint64(buf[4])<<32 | uint64(buf[5])<<40 | uint64(buf[6])<<48 | uint64(buf[7])<<56
+		r := bitio.NewReader(buf)
+		sym, derr := dec.Decode(r)
+		c1 := uint(r.BitPos())
+
+		e := fast.Lookup(x)
+		if e.Kind() == FastSub {
+			e = fast.SubLookup(e, x)
+		}
+		switch e.Kind() {
+		case FastInvalid:
+			// Must correspond to a symbol the fast loop refuses: a
+			// decode error, or a length symbol past the RFC table.
+			if derr == nil && sym < 257+len(tLenBase) {
+				t.Fatalf("x=%#x: fast invalid but Decoder gave sym %d", x, sym)
+			}
+		case FastLit1:
+			if derr != nil || sym != int(e.Lit1()) || sym > 255 || e.NBits() != c1 {
+				t.Fatalf("x=%#x: lit1 %d/%d bits vs Decoder sym %d err %v bits %d",
+					x, e.Lit1(), e.NBits(), sym, derr, c1)
+			}
+		case FastLit2:
+			if derr != nil || sym != int(e.Lit1()) || e.Lit1Bits() != c1 {
+				t.Fatalf("x=%#x: lit2 first %d (l1=%d) vs Decoder sym %d err %v bits %d",
+					x, e.Lit1(), e.Lit1Bits(), sym, derr, c1)
+			}
+			sym2, derr2 := dec.Decode(r)
+			c2 := uint(r.BitPos())
+			if derr2 != nil || sym2 != int(e.Lit2()) || e.NBits() != c2 {
+				t.Fatalf("x=%#x: lit2 second %d (total %d bits) vs Decoder sym %d err %v bits %d",
+					x, e.Lit2(), e.NBits(), sym2, derr2, c2)
+			}
+		case FastEOB:
+			if derr != nil || sym != 256 || e.NBits() != c1 {
+				t.Fatalf("x=%#x: eob/%d bits vs Decoder sym %d err %v bits %d", x, e.NBits(), sym, derr, c1)
+			}
+		case FastLen:
+			if derr != nil || sym < 257 || e.NBits() != c1 {
+				t.Fatalf("x=%#x: len entry vs Decoder sym %d err %v bits %d", x, sym, derr, c1)
+			}
+			idx := sym - 257
+			if uint32(tLenBase[idx]) != e.LenBase() || uint(tLenExtra[idx]) != e.LenExtra() {
+				t.Fatalf("x=%#x: len sym %d fused base %d extra %d, want %d/%d",
+					x, sym, e.LenBase(), e.LenExtra(), tLenBase[idx], tLenExtra[idx])
+			}
+		default:
+			t.Fatalf("x=%#x: unexpected kind %d", x, e.Kind())
+		}
+	}
+}
+
+func TestLitLenFastFixedTree(t *testing.T) {
+	// The fixed literal/length tree (RFC 3.2.6).
+	lengths := make([]uint8, 288)
+	for i := 0; i <= 143; i++ {
+		lengths[i] = 8
+	}
+	for i := 144; i <= 255; i++ {
+		lengths[i] = 9
+	}
+	for i := 256; i <= 279; i++ {
+		lengths[i] = 7
+	}
+	for i := 280; i <= 287; i++ {
+		lengths[i] = 8
+	}
+	checkLitLenAgainstDecoder(t, rand.New(rand.NewSource(1)), lengths)
+}
+
+func TestLitLenFastRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		nsym := 2 + rng.Intn(287)
+		maxLen := 4 + rng.Intn(12)
+		if 1<<maxLen < nsym {
+			maxLen = 15
+		}
+		lengths := randLengths(rng, 288, nsym, maxLen)
+		checkLitLenAgainstDecoder(t, rng, lengths)
+	}
+}
+
+// TestLitLenFastShortLiterals forces a tree dense in very short
+// literal codes so the FastLit2 packing path dominates.
+func TestLitLenFastShortLiterals(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Four symbols: three 2-bit literals and one 2-bit EOB — every
+	// primary cell holds a packed pair (2+2 <= 11).
+	lengths := make([]uint8, 288)
+	lengths['A'], lengths['C'], lengths['G'], lengths[256] = 2, 2, 2, 2
+	var fast LitLenFast
+	if err := fast.Init(lengths, tLenBase, tLenExtra); err != nil {
+		t.Fatal(err)
+	}
+	pairs := 0
+	for _, e := range fast.tab {
+		if e.Kind() == FastLit2 {
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		t.Fatal("no FastLit2 entries packed for an all-short-literal tree")
+	}
+	checkLitLenAgainstDecoder(t, rng, lengths)
+}
+
+func TestDistFastAgainstDecoder(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	trees := [][]uint8{}
+	// Fixed distance tree: all 32 symbols, 5 bits.
+	fixed := make([]uint8, 32)
+	for i := range fixed {
+		fixed[i] = 5
+	}
+	trees = append(trees, fixed)
+	for trial := 0; trial < 40; trial++ {
+		nsym := 2 + rng.Intn(29)
+		maxLen := 3 + rng.Intn(13)
+		if 1<<maxLen < nsym {
+			maxLen = 15
+		}
+		trees = append(trees, randLengths(rng, 30+rng.Intn(3), nsym, maxLen))
+	}
+	// Incomplete single-code tree (legal for distances).
+	single := make([]uint8, 30)
+	single[4] = 1
+	trees = append(trees, single)
+
+	buf := make([]byte, 8)
+	for _, lengths := range trees {
+		dec, err := NewDecoder(lengths, true)
+		if err != nil {
+			t.Fatalf("Decoder.Init: %v", err)
+		}
+		var fast DistFast
+		if err := fast.Init(lengths, tDistBase, tDistExtra); err != nil {
+			t.Fatalf("DistFast.Init: %v", err)
+		}
+		for trial := 0; trial < 4096; trial++ {
+			rng.Read(buf)
+			x := uint64(buf[0]) | uint64(buf[1])<<8 | uint64(buf[2])<<16 | uint64(buf[3])<<24 |
+				uint64(buf[4])<<32 | uint64(buf[5])<<40 | uint64(buf[6])<<48 | uint64(buf[7])<<56
+			r := bitio.NewReader(buf)
+			sym, derr := dec.Decode(r)
+			c1 := uint(r.BitPos())
+
+			e := fast.Lookup(x)
+			if e.Sub() {
+				e = fast.SubLookup(e, x)
+			}
+			switch {
+			case !e.Direct():
+				if derr == nil && sym < len(tDistBase) {
+					t.Fatalf("x=%#x: fast invalid but Decoder gave dist sym %d", x, sym)
+				}
+			default:
+				if derr != nil || e.NBits() != c1 ||
+					uint32(tDistBase[sym]) != e.Base() || uint(tDistExtra[sym]) != e.ExtraBits() {
+					t.Fatalf("x=%#x: fast dist base %d extra %d nbits %d vs Decoder sym %d err %v bits %d",
+						x, e.Base(), e.ExtraBits(), e.NBits(), sym, derr, c1)
+				}
+			}
+		}
+	}
+}
+
+// TestInitMemoization pins the identical-description skip on both the
+// exact Decoder and the fast tables: a re-Init with equal content (in
+// a different backing array) is a no-op, a different description
+// rebuilds, and returning to the first description decodes correctly.
+func TestInitMemoization(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randLengths(rng, 288, 100, 12)
+	b := randLengths(rng, 288, 150, 14)
+
+	var d Decoder
+	if err := d.Init(a, false); err != nil {
+		t.Fatal(err)
+	}
+	if !d.memoOK {
+		t.Fatal("memo not armed after successful Init")
+	}
+	gen := d.gen
+	a2 := append([]uint8(nil), a...)
+	if err := d.Init(a2, false); err != nil {
+		t.Fatal(err)
+	}
+	if d.gen != gen {
+		t.Fatal("identical re-Init rebuilt the tables")
+	}
+	// Same content, different allowIncomplete: must rebuild (the flag
+	// participates in validation even when tables would match).
+	if err := d.Init(a2, true); err != nil {
+		t.Fatal(err)
+	}
+	if d.gen == gen {
+		t.Fatal("allowIncomplete change did not rebuild")
+	}
+	if err := d.Init(b, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Init(a, false); err != nil {
+		t.Fatal(err)
+	}
+	checkDecodes(t, rng, &d, a)
+
+	// A failed Init must disarm the memo.
+	bad := make([]uint8, 8)
+	for i := range bad {
+		bad[i] = 1 // oversubscribed
+	}
+	if err := d.Init(bad, false); err == nil {
+		t.Fatal("oversubscribed set accepted")
+	}
+	if d.memoOK {
+		t.Fatal("memo still armed after failed Init")
+	}
+
+	var fast LitLenFast
+	if err := fast.Init(a, tLenBase, tLenExtra); err != nil {
+		t.Fatal(err)
+	}
+	fgen := fast.gen
+	if err := fast.Init(a2, tLenBase, tLenExtra); err != nil {
+		t.Fatal(err)
+	}
+	if fast.gen != fgen {
+		t.Fatal("identical fast re-Init rebuilt the tables")
+	}
+}
+
+// checkDecodes spot-checks that dec decodes random patterns to symbols
+// consistent with a freshly built decoder over the same lengths.
+func checkDecodes(t *testing.T, rng *rand.Rand, dec *Decoder, lengths []uint8) {
+	t.Helper()
+	ref, err := NewDecoder(lengths, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	for trial := 0; trial < 512; trial++ {
+		rng.Read(buf)
+		r1, r2 := bitio.NewReader(buf), bitio.NewReader(buf)
+		s1, e1 := dec.Decode(r1)
+		s2, e2 := ref.Decode(r2)
+		if s1 != s2 || (e1 == nil) != (e2 == nil) {
+			t.Fatalf("decode divergence: %d/%v vs %d/%v", s1, e1, s2, e2)
+		}
+	}
+}

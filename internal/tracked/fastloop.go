@@ -1,0 +1,199 @@
+package tracked
+
+import (
+	"repro/internal/bitio"
+	"repro/internal/flate"
+	"repro/internal/huffman"
+)
+
+// This file mirrors internal/flate's multi-symbol fast loop for the
+// symbolic pass-1 decoders: the same wide-table lookups and one
+// 64-bit refill per token, but writing uint16 cells so back-references
+// into the undetermined context copy symbols exactly like the scalar
+// Sink.Match does. Both Sink and TailSink implement
+// flate.FastTokenSink, so pass-1 chunk decodes take the fast path
+// automatically.
+
+const (
+	// fastMinBits matches flate's floor: one refill covers a worst-case
+	// litlen + extra + dist code + extra token (48 bits).
+	fastMinBits = 48
+	// fastSlack is the write headroom a round must keep beyond its
+	// budget: one maximal match plus a packed literal pair.
+	fastSlack = flate.MaxMatch + 2
+)
+
+type fastStatus uint8
+
+const (
+	fastMore fastStatus = iota // out of bits, room, or budget
+	fastEOB                    // end-of-block code consumed
+	fastBail                   // next token needs the scalar loop
+)
+
+// decodeFastSyms is the symbolic twin of flate's byte kernel: tokens
+// decode from r into out[w:] until the bit buffer runs low, the write
+// budget maxW is reached, end-of-block, or a token that needs the
+// scalar loop (bits stay unconsumed on bail). Callers guarantee
+// len(out) >= maxW-1+flate.MaxMatch and minSrc <= any legal source.
+func decodeFastSyms(r *bitio.Reader, lit *huffman.LitLenFast, dist *huffman.DistFast, out []uint16, w, maxW, minSrc int) (int, fastStatus) {
+	for {
+		r.Refill()
+		if r.Bits() < fastMinBits {
+			return w, fastMore
+		}
+		if w >= maxW {
+			return w, fastMore
+		}
+		x := r.Acc()
+		e := lit.Lookup(x)
+		if e.Kind() == huffman.FastSub {
+			e = lit.SubLookup(e, x)
+		}
+		switch e.Kind() {
+		case huffman.FastLit2:
+			if w+2 > maxW {
+				out[w] = uint16(e.Lit1())
+				w++
+				r.Consume(e.Lit1Bits())
+				continue
+			}
+			out[w] = uint16(e.Lit1())
+			out[w+1] = uint16(e.Lit2())
+			w += 2
+			r.Consume(e.NBits())
+		case huffman.FastLit1:
+			out[w] = uint16(e.Lit1())
+			w++
+			r.Consume(e.NBits())
+		case huffman.FastLen:
+			used := e.NBits()
+			length := int(e.LenBase()) + (int(x>>used) & (1<<e.LenExtra() - 1))
+			used += e.LenExtra()
+			de := dist.Lookup(x >> used)
+			if de.Sub() {
+				de = dist.SubLookup(de, x>>used)
+			}
+			if !de.Direct() {
+				return w, fastBail
+			}
+			dcb := de.NBits()
+			dval := int(de.Base()) + (int(x>>(used+dcb)) & (1<<de.ExtraBits() - 1))
+			used += dcb + de.ExtraBits()
+			src := w - dval
+			if src < minSrc {
+				return w, fastBail
+			}
+			r.Consume(used)
+			if dval >= length {
+				copy(out[w:w+length], out[src:src+length])
+				w += length
+			} else {
+				end := w + length
+				for w < end {
+					w += copy(out[w:end], out[src:w])
+				}
+			}
+		case huffman.FastEOB:
+			r.Consume(e.NBits())
+			return w, fastEOB
+		default: // huffman.FastInvalid
+			return w, fastBail
+		}
+	}
+}
+
+// fastSymPad grows a sink's capacity via append without a temporary.
+var fastSymPad [2048]uint16
+
+// FastTokens implements flate.FastTokenSink for the full symbolic
+// sink: tokens decode straight into the append buffer.
+func (s *Sink) FastTokens(fc *flate.FastCtx) (int64, bool, error) {
+	n0 := s.Len()
+	eob := false
+	var err error
+	for {
+		fc.R.Refill()
+		if fc.R.Bits() < fastMinBits {
+			break
+		}
+		if cap(s.buf)-len(s.buf) < fastSlack {
+			n := len(s.buf)
+			s.buf = append(s.buf, fastSymPad[:]...)[:n]
+		}
+		w0 := len(s.buf)
+		minSrc := 0
+		if fc.Track {
+			// Tracked decodes never set Track (the symbolic context
+			// absorbs any distance), but honour the contract anyway.
+			if m := w0 - int(fc.Produced); m > 0 {
+				minSrc = m
+			}
+		}
+		maxW := cap(s.buf) - flate.MaxMatch
+		if s.Limit > 0 {
+			if lim := w0 + (s.Limit - s.Len()); lim < maxW {
+				maxW = lim
+			}
+		}
+		buf := s.buf[:cap(s.buf)]
+		w, st := decodeFastSyms(fc.R, fc.Lit, fc.Dist, buf, w0, maxW, minSrc)
+		s.buf = buf[:w]
+		if s.Limit > 0 && s.Len() >= s.Limit {
+			err = flate.Stop
+			break
+		}
+		if st == fastEOB {
+			eob = true
+			break
+		}
+		if st == fastBail {
+			break
+		}
+	}
+	return int64(s.Len() - n0), eob, err
+}
+
+// FastTokens implements flate.FastTokenSink for the tail-only symbolic
+// sink, running the kernel between slide compactions with the Limit
+// budget translated into a write bound.
+func (s *TailSink) FastTokens(fc *flate.FastCtx) (int64, bool, error) {
+	t0 := s.total
+	eob := false
+	var err error
+	for {
+		fc.R.Refill()
+		if fc.R.Bits() < fastMinBits {
+			break
+		}
+		s.slide(fastSlack)
+		w0 := len(s.buf)
+		minSrc := 0
+		if fc.Track {
+			if m := w0 - int(s.total); m > 0 {
+				minSrc = m
+			}
+		}
+		maxW := tailSlide // cap is tailSlide+MaxMatch: within budget
+		if s.Limit > 0 {
+			if lim := w0 + s.Limit - int(s.total); lim < maxW {
+				maxW = lim
+			}
+		}
+		w, st := decodeFastSyms(fc.R, fc.Lit, fc.Dist, s.buf[:cap(s.buf)], w0, maxW, minSrc)
+		s.total += int64(w - w0)
+		s.buf = s.buf[:w]
+		if s.Limit > 0 && s.total >= int64(s.Limit) {
+			err = flate.Stop
+			break
+		}
+		if st == fastEOB {
+			eob = true
+			break
+		}
+		if st == fastBail {
+			break
+		}
+	}
+	return s.total - t0, eob, err
+}

@@ -1,0 +1,143 @@
+package tracked
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/bitio"
+	"repro/internal/dna"
+	"repro/internal/flate"
+)
+
+// decodeSinkWith drives a Sink through a decoder with the fast loop
+// toggled, mirroring DecodeFrom but exposing NoFast.
+func decodeSinkWith(t *testing.T, payload []byte, startBit int64, limit int, noFast bool) *Sink {
+	t.Helper()
+	r, err := bitio.NewReaderAt(payload, startBit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := NewSink(0)
+	sink.Limit = limit
+	sink.RecordSpans()
+	dec := flate.NewDecoder(flate.Options{NoFast: noFast})
+	for {
+		f, err := dec.DecodeBlock(r, sink)
+		if err != nil {
+			if errors.Is(err, flate.Stop) {
+				break
+			}
+			t.Fatalf("noFast=%v: %v", noFast, err)
+		}
+		if f {
+			break
+		}
+	}
+	return sink
+}
+
+// TestFastSymbolicParity pins the fast symbolic loop to the scalar
+// one: mid-stream decodes with an undetermined context must produce
+// identical symbol sequences (including U_j placement) and spans.
+func TestFastSymbolicParity(t *testing.T) {
+	data := dna.Random(400_000, 31)
+	for _, level := range []int{1, 6, 9} {
+		payload, spans := fixture(t, data, level)
+		for _, k := range []int{0, 1, len(spans) / 2} {
+			startBit := spans[k].Event.StartBit
+			fast := decodeSinkWith(t, payload, startBit, 0, false)
+			scalar := decodeSinkWith(t, payload, startBit, 0, true)
+			fo, so := fast.Out(), scalar.Out()
+			if len(fo) != len(so) {
+				t.Fatalf("level %d block %d: length %d vs %d", level, k, len(fo), len(so))
+			}
+			for i := range fo {
+				if fo[i] != so[i] {
+					t.Fatalf("level %d block %d: symbol %d: %d vs %d", level, k, i, fo[i], so[i])
+				}
+			}
+			if len(fast.Spans) != len(scalar.Spans) {
+				t.Fatalf("level %d block %d: span count %d vs %d", level, k, len(fast.Spans), len(scalar.Spans))
+			}
+			for i := range fast.Spans {
+				if fast.Spans[i] != scalar.Spans[i] {
+					t.Fatalf("level %d block %d: span %d mismatch", level, k, i)
+				}
+			}
+		}
+	}
+}
+
+// TestFastSymbolicLimitParity checks Limit stops land on the same
+// entry count on both paths, including limits inside packed pairs and
+// matches.
+func TestFastSymbolicLimitParity(t *testing.T) {
+	data := dna.Random(200_000, 32)
+	payload, spans := fixture(t, data, 6)
+	startBit := spans[1].Event.StartBit
+	for _, limit := range []int{1, 2, 3, 100, WindowSize, 150_000} {
+		fast := decodeSinkWith(t, payload, startBit, limit, false)
+		scalar := decodeSinkWith(t, payload, startBit, limit, true)
+		if fast.Len() != scalar.Len() {
+			t.Fatalf("limit %d: %d vs %d entries", limit, fast.Len(), scalar.Len())
+		}
+		fo, so := fast.Out(), scalar.Out()
+		for i := range fo {
+			if fo[i] != so[i] {
+				t.Fatalf("limit %d: symbol %d mismatch", limit, i)
+			}
+		}
+	}
+}
+
+// TestFastTailSymbolicParity pins the tail-only fast loop to scalar:
+// same totals, same trailing window, through multiple slides.
+func TestFastTailSymbolicParity(t *testing.T) {
+	data := dna.Random(500_000, 33) // many windows of output
+	payload, spans := fixture(t, data, 6)
+
+	run := func(noFast bool, startBit int64, limit int) (int64, []uint16) {
+		r, err := bitio.NewReaderAt(payload, startBit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink := NewTailSink()
+		sink.Limit = limit
+		dec := flate.NewDecoder(flate.Options{NoFast: noFast})
+		for {
+			f, err := dec.DecodeBlock(r, sink)
+			if err != nil {
+				if errors.Is(err, flate.Stop) {
+					break
+				}
+				t.Fatalf("noFast=%v: %v", noFast, err)
+			}
+			if f {
+				break
+			}
+		}
+		tail := append([]uint16(nil), sink.Tail()...)
+		total := sink.total
+		sink.Release()
+		return total, tail
+	}
+
+	for _, k := range []int{0, 1} {
+		startBit := spans[k].Event.StartBit
+		for _, limit := range []int{0, 7, WindowSize + 3, 400_000} {
+			fn, ft := run(false, startBit, limit)
+			sn, st := run(true, startBit, limit)
+			if fn != sn {
+				t.Fatalf("block %d limit %d: total %d vs %d", k, limit, fn, sn)
+			}
+			if len(ft) != len(st) {
+				t.Fatalf("block %d limit %d: tail length %d vs %d", k, limit, len(ft), len(st))
+			}
+			for i := range ft {
+				if ft[i] != st[i] {
+					t.Fatalf("block %d limit %d: tail entry %d: %d vs %d", k, limit, i, ft[i], st[i])
+				}
+			}
+		}
+	}
+}

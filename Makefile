@@ -3,8 +3,8 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci vet build test race race-internal race-diff race-rest race-cmd \
-	fuzz-smoke bench bench-smoke benchdiff clean
+.PHONY: ci vet build test race race-internal race-serve race-diff race-rest \
+	race-cmd fuzz-smoke bench bench-smoke benchdiff serve loadtest clean
 
 ci: vet build race fuzz-smoke
 
@@ -28,10 +28,15 @@ RACETIMEOUT ?= 15m
 # test runs under -race in exactly one group.
 DIFFPAT := ^(TestDifferential|TestDecompress|TestCorrupt|TestFullCircle|TestCompress|TestClassify|TestPublic|TestExperiments)
 
-race: race-internal race-diff race-rest race-cmd
+race: race-internal race-serve race-diff race-rest race-cmd
 
+# The serving subsystem is its own group: its eviction-storm and
+# concurrency stress tests dominate the internal-package wall time.
 race-internal:
-	$(GO) test -race -timeout $(RACETIMEOUT) ./internal/...
+	$(GO) test -race -timeout $(RACETIMEOUT) $$($(GO) list ./internal/... | grep -v '/internal/serve')
+
+race-serve:
+	$(GO) test -race -timeout $(RACETIMEOUT) ./internal/serve/...
 
 race-diff:
 	$(GO) test -race -timeout $(RACETIMEOUT) -run '$(DIFFPAT)' .
@@ -54,7 +59,7 @@ fuzz-smoke:
 # `make bench PR=5` writes BENCH_PR5.json — and commit the file;
 # `make benchdiff` (and CI) compares the two most recent captures.
 # BENCHTIME can be raised for stable numbers on quiet hardware.
-PR ?= 7
+PR ?= 8
 BENCHTIME ?= 1x
 BENCHOUT ?= BENCH_PR$(PR).json
 bench:
@@ -71,6 +76,36 @@ bench-smoke:
 # benchmarks fail, everything else warns (see cmd/benchdiff).
 benchdiff:
 	$(GO) run ./cmd/benchdiff -auto .
+
+# --- Serving daemon -------------------------------------------------
+# `make serve` mounts a synthetic blob corpus (generated once into
+# .tmp/blobs, one blob with a sidecar index) under a local pugzd;
+# `make loadtest` is the end-to-end smoke: daemon up, a short mixed
+# sequential/random trace (every response must be a correct 206), then
+# SIGTERM and an asserted clean exit 0.
+SERVEADDR ?= 127.0.0.1:8457
+BLOBDIR := .tmp/blobs
+
+$(BLOBDIR)/.stamp:
+	mkdir -p $(BLOBDIR)
+	$(GO) run ./cmd/gzsynth -reads 20000 -seed 41 -o $(BLOBDIR)/reads.fastq.gz
+	$(GO) run ./cmd/gzsynth -kind dna -bytes 2000000 -seed 42 -level 9 -o $(BLOBDIR)/genome.gz
+	$(GO) run ./cmd/gzsynth -reads 8000 -seed 43 -level 0 -o $(BLOBDIR)/stored.gz
+	$(GO) run ./cmd/pugz -mkindex $(BLOBDIR)/reads.fastq.gz.gzx $(BLOBDIR)/reads.fastq.gz
+	touch $@
+
+serve: $(BLOBDIR)/.stamp
+	$(GO) run ./cmd/pugzd -addr $(SERVEADDR) -dir $(BLOBDIR)
+
+loadtest: $(BLOBDIR)/.stamp
+	$(GO) build -o .tmp/pugzd ./cmd/pugzd
+	@set -e; \
+	.tmp/pugzd -addr $(SERVEADDR) -dir $(BLOBDIR) & pid=$$!; \
+	ok=0; .tmp/pugzd -loadtest -duration 2s -c 8 http://$(SERVEADDR) && ok=1; \
+	kill -TERM $$pid; wait $$pid; rc=$$?; \
+	if [ $$ok -ne 1 ]; then echo "loadtest: trace had errors" >&2; exit 1; fi; \
+	if [ $$rc -ne 0 ]; then echo "loadtest: daemon exit $$rc, want clean 0" >&2; exit 1; fi; \
+	echo "loadtest: trace clean, daemon drained and exited 0"
 
 clean:
 	rm -rf .tmp

@@ -93,6 +93,7 @@ func (ix *Index) readAtSource(f *File, p []byte, off int64) (int, error) {
 	for {
 		n, err := ix.inner.ReadAtWindow(w.data, winBase-ix.payloadOff, p, off)
 		if err == nil {
+			f.inflated.Add(off - cp.Out + int64(n))
 			return n, nil
 		}
 		grown, gerr := w.grow()

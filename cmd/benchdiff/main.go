@@ -28,10 +28,11 @@ import (
 // the headline whole-file decompression, the bounded-memory streaming
 // reader, the seekable-File read paths (including the tail-only Size
 // measuring pass and the concurrent-reader scaling curve), the pass-2
-// translation kernels, the skip-mode index build, and the two inner
-// token loops (exact and symbolic) behind the multi-symbol fast path.
-// Everything else is warn-only.
-const defaultGate = `^Benchmark(Table2Pugz32|StreamingReader|FileReadAt|FileConcurrentReadAt|FileDeepSeek|FileSize|Pass2Translate|ResolveDensity|BuildIndex|FlateDecodeTokens|TrackedPass1)`
+// translation kernels, the skip-mode index build, the two inner
+// token loops (exact and symbolic) behind the multi-symbol fast path,
+// and the daemon's HTTP range-serving path (hot indexed handle and
+// cold first touch). Everything else is warn-only.
+const defaultGate = `^Benchmark(Table2Pugz32|StreamingReader|FileReadAt|FileConcurrentReadAt|FileDeepSeek|FileSize|Pass2Translate|ResolveDensity|BuildIndex|FlateDecodeTokens|TrackedPass1|ServeRange)`
 
 func main() {
 	gate := flag.String("gate", defaultGate, "regexp of benchmark names whose regressions fail (others warn)")

@@ -1,0 +1,216 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The -loadtest mode: replay a mixed sequential/random decompressed-
+// offset trace against a running pugzd and report latency percentiles.
+// Each worker keeps one sequential cursor per blob; a SeqFrac coin
+// decides between continuing that cursor (the FASTQ-scanning access
+// pattern) and seeking to a uniformly random offset (the worst case
+// for the checkpoint index). Every response must be a 206 with exactly
+// the requested length — anything else counts as an error, and the
+// caller exits nonzero.
+
+type loadOptions struct {
+	Duration   time.Duration
+	Workers    int
+	SeqFrac    float64
+	RangeBytes int64
+	Seed       int64
+}
+
+type loadReport struct {
+	Requests int64
+	Errors   int64
+	Bytes    int64
+	Elapsed  time.Duration
+
+	P50, P90, P99, Max time.Duration
+}
+
+// loadBlob is one replay target: a catalog entry plus its decompressed
+// size learned from a HEAD probe.
+type loadBlob struct {
+	name string
+	size int64
+}
+
+// waitReady polls /healthz until the daemon answers, so `make
+// loadtest`-style scripts can start the daemon and the generator
+// back-to-back without racing the listen socket.
+func waitReady(client *http.Client, base string) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err == nil {
+				err = fmt.Errorf("status %d from /healthz", resp.StatusCode)
+			}
+			return fmt.Errorf("daemon not ready after 10s: %w", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// discoverBlobs fetches the catalog listing and HEADs every blob for
+// its decompressed size (which warms the daemon's handle cache — the
+// trace proper then measures serving, not first-touch sizing).
+func discoverBlobs(client *http.Client, base string) ([]loadBlob, error) {
+	resp, err := client.Get(base + "/blobs")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("listing /blobs: status %d", resp.StatusCode)
+	}
+	var listing []struct {
+		Name string `json:"name"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		return nil, fmt.Errorf("listing /blobs: %w", err)
+	}
+
+	var blobs []loadBlob
+	for _, e := range listing {
+		hresp, err := client.Head(base + "/blobs/" + e.Name)
+		if err != nil {
+			return nil, fmt.Errorf("HEAD %s: %w", e.Name, err)
+		}
+		hresp.Body.Close()
+		if hresp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("HEAD %s: status %d", e.Name, hresp.StatusCode)
+		}
+		if hresp.ContentLength > 0 {
+			blobs = append(blobs, loadBlob{name: e.Name, size: hresp.ContentLength})
+		}
+	}
+	if len(blobs) == 0 {
+		return nil, fmt.Errorf("no non-empty blobs to replay against")
+	}
+	return blobs, nil
+}
+
+func runLoadgen(base string, o loadOptions, w io.Writer) (*loadReport, error) {
+	base = strings.TrimSuffix(base, "/")
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.RangeBytes <= 0 {
+		o.RangeBytes = 64 << 10
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	if err := waitReady(client, base); err != nil {
+		return nil, err
+	}
+	blobs, err := discoverBlobs(client, base)
+	if err != nil {
+		return nil, err
+	}
+
+	var requests, errs, bytesGot atomic.Int64
+	latencies := make([][]time.Duration, o.Workers)
+	stop := time.Now().Add(o.Duration)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i := 0; i < o.Workers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.Seed + int64(i)))
+			cursors := make([]int64, len(blobs))
+			for time.Now().Before(stop) {
+				bi := rng.Intn(len(blobs))
+				b := blobs[bi]
+				n := 1 + rng.Int63n(o.RangeBytes)
+				var off int64
+				if rng.Float64() < o.SeqFrac {
+					off = cursors[bi]
+					if off >= b.size {
+						off = 0
+					}
+				} else {
+					off = rng.Int63n(b.size)
+				}
+				if off+n > b.size {
+					n = b.size - off
+				}
+				cursors[bi] = off + n
+
+				req, err := http.NewRequest(http.MethodGet, base+"/blobs/"+b.name, nil)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", off, off+n-1))
+				start := time.Now()
+				resp, err := client.Do(req)
+				var got int64
+				if err == nil {
+					got, err = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				d := time.Since(start)
+				requests.Add(1)
+				switch {
+				case err != nil,
+					resp.StatusCode != http.StatusPartialContent,
+					got != n:
+					errs.Add(1)
+				default:
+					bytesGot.Add(got)
+					latencies[i] = append(latencies[i], d)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	rep := &loadReport{
+		Requests: requests.Load(),
+		Errors:   errs.Load(),
+		Bytes:    bytesGot.Load(),
+		Elapsed:  elapsed,
+	}
+	if len(all) > 0 {
+		pct := func(p float64) time.Duration {
+			idx := int(p * float64(len(all)-1))
+			return all[idx]
+		}
+		rep.P50, rep.P90, rep.P99, rep.Max = pct(0.50), pct(0.90), pct(0.99), all[len(all)-1]
+	}
+
+	fmt.Fprintf(w, "pugzd loadtest: %d requests in %v (%.0f req/s), %d errors, %d bytes\n",
+		rep.Requests, elapsed.Round(time.Millisecond),
+		float64(rep.Requests)/elapsed.Seconds(), rep.Errors, rep.Bytes)
+	fmt.Fprintf(w, "  latency p50=%v p90=%v p99=%v max=%v (over %d x %d-byte-max ranges, seqfrac %.2f, %d clients)\n",
+		rep.P50.Round(time.Microsecond), rep.P90.Round(time.Microsecond),
+		rep.P99.Round(time.Microsecond), rep.Max.Round(time.Microsecond),
+		len(all), o.RangeBytes, o.SeqFrac, o.Workers)
+	return rep, nil
+}

@@ -102,6 +102,10 @@ type File struct {
 	posMu sync.Mutex
 	pos   int64 // Read/Seek cursor (decompressed)
 
+	// inflated counts the decompressed bytes this File has decoded or
+	// skipped over on behalf of its reads (see InflatedBytes).
+	inflated atomic.Int64
+
 	cursors cursorPool
 
 	// Auto-index: restart points within the first member, harvested as
@@ -333,6 +337,7 @@ func (f *File) readAtCursor(cur *fileCursor, p []byte, off int64) (n int, err er
 	}()
 	if skip := off - cur.pos; skip > 0 {
 		m, cerr := io.CopyN(io.Discard, cur.r, skip)
+		f.inflated.Add(m)
 		if m > 0 {
 			// Bytes flowed out of the pipeline, which proves its skip
 			// target was reached: pos is exact from here on.
@@ -353,6 +358,7 @@ func (f *File) readAtCursor(cur *fileCursor, p []byte, off int64) (n int, err er
 		}
 	}
 	n, err = io.ReadFull(cur.r, p)
+	f.inflated.Add(int64(n))
 	if n > 0 {
 		// The stream reached the cursor's skip target: pos is exact again.
 		cur.skipPending = false
@@ -406,6 +412,11 @@ func (f *File) openCursor(off int64) (*fileCursor, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The pipeline-level skip decodes (without translating) the whole
+	// restart-to-target gap; count it as inflation up front. For skips
+	// past the end of the stream this over-counts by the unreachable
+	// part, which is fine for a diagnostic (see InflatedBytes).
+	f.inflated.Add(off - startOut)
 	return &fileCursor{r: r, pos: off, skipPending: off > startOut}, nil
 }
 
@@ -513,6 +524,30 @@ func (f *File) Checkpoints() int {
 	return 0
 }
 
+// InflatedBytes reports the total decompressed bytes this File has
+// decoded or skipped over to serve its reads so far: checkpoint-to-
+// offset inflates, forward-scan discards, pipeline-level skips and
+// Size measuring passes all count, so InflatedBytes/bytes-returned is
+// the File's read amplification. The value is a monotonic diagnostic,
+// approximate at the margins (a skip aimed past the end of the stream
+// counts its full intended distance) and safe for concurrent use.
+func (f *File) InflatedBytes() int64 { return f.inflated.Load() }
+
+// CachedSize returns the total decompressed size if it is already
+// known — measured by an earlier pass, revealed by a cursor reaching
+// clean EOF, or derived from an attached whole-file index — without
+// triggering the measuring pass Size would run. Safe for concurrent
+// use.
+func (f *File) CachedSize() (int64, bool) {
+	if u := f.usize.Load(); u >= 0 {
+		return u, true
+	}
+	if ix := f.index(); ix != nil && ix.coversWholeFile(f.size) {
+		return ix.Size(), true
+	}
+	return 0, false
+}
+
 // Read implements io.Reader at the Seek cursor. Like ReadAt it uses
 // the checkpoint index when one is attached and no pooled cursor is
 // already close to the position, so a Seek deep into an indexed file
@@ -601,6 +636,7 @@ func (f *File) Size() (int64, error) {
 		return 0, err
 	}
 	size := r.Stats().OutBytes
+	f.inflated.Add(size)
 	f.usize.Store(size)
 	return size, nil
 }

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"io"
+	"testing"
+
+	pugz "repro"
+	"repro/internal/serve/metrics"
+)
+
+func cacheFixture(t *testing.T) (*Catalog, map[string][]byte) {
+	fx := newFixture(t, 1500)
+	return fx.cat, fx.oracle
+}
+
+func newTestCache(t *testing.T, budget int64) (*handleCache, *metrics.Registry) {
+	t.Helper()
+	met := metrics.New()
+	c := newHandleCache(CacheOptions{
+		BudgetBytes:  budget,
+		File:         pugz.FileOptions{Threads: 2, MinChunk: 16 << 10},
+		IndexSpacing: -1, // unit tests drive eviction deterministically
+		Metrics:      met,
+	})
+	t.Cleanup(c.close)
+	return c, met
+}
+
+func mustAcquire(t *testing.T, c *handleCache, cat *Catalog, name string) *cacheHandle {
+	t.Helper()
+	b, ok := cat.Lookup(name)
+	if !ok {
+		t.Fatalf("no blob %q", name)
+	}
+	h, err := c.acquire(b)
+	if err != nil {
+		t.Fatalf("acquire %s: %v", name, err)
+	}
+	return h
+}
+
+// TestCacheBudgetEviction: a budget that fits one handle evicts the
+// LRU entry as soon as a second blob is opened and claimed.
+func TestCacheBudgetEviction(t *testing.T) {
+	cat, _ := cacheFixture(t)
+	c, met := newTestCache(t, handleBaseCost+handleBaseCost/4)
+
+	hA := mustAcquire(t, c, cat, "dense.gz")
+	hA.Release()
+	if got := met.CacheHandles.Value(); got != 1 {
+		t.Fatalf("resident handles = %d, want 1", got)
+	}
+
+	hB := mustAcquire(t, c, cat, "sub/stored.gz")
+	hB.Release()
+	if got := met.CacheEvictions.Value(); got != 1 {
+		t.Fatalf("evictions = %d, want 1 (A evicted by B)", got)
+	}
+	if _, resident := c.peek("dense.gz"); resident {
+		t.Fatal("dense.gz still resident after eviction")
+	}
+	if _, resident := c.peek("sub/stored.gz"); !resident {
+		t.Fatal("sub/stored.gz not resident")
+	}
+
+	// Re-acquiring A is a fresh miss that evicts B in turn.
+	mustAcquire(t, c, cat, "dense.gz").Release()
+	if got := met.CacheMisses.Value(); got != 3 {
+		t.Fatalf("misses = %d, want 3", got)
+	}
+}
+
+// TestCacheEvictionMidFlight: an entry evicted while a request still
+// holds its handle stays fully readable until the last Release, and
+// only then closes its underlying file.
+func TestCacheEvictionMidFlight(t *testing.T) {
+	cat, oracle := cacheFixture(t)
+	c, met := newTestCache(t, handleBaseCost+handleBaseCost/4)
+
+	hA := mustAcquire(t, c, cat, "dense.gz")
+	fA := hA.File()
+
+	// Open B: A is evicted while hA is live.
+	mustAcquire(t, c, cat, "sub/stored.gz").Release()
+	if got := met.CacheEvictions.Value(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+
+	// The evicted handle still serves oracle bytes.
+	want := oracle["dense.gz"]
+	p := make([]byte, 512)
+	off := int64(len(want)) / 3
+	if _, err := fA.ReadAt(p, off); err != nil && err != io.EOF {
+		t.Fatalf("read on evicted-but-held handle: %v", err)
+	}
+	if string(p) != string(want[off:off+512]) {
+		t.Fatal("evicted-but-held handle returned wrong bytes")
+	}
+
+	// The last release closes the underlying source: further reads at
+	// uncached offsets must fail rather than silently serve.
+	hA.Release()
+	if _, err := fA.ReadAt(p, off+1<<20); err == nil || err == io.EOF {
+		// Offset chosen past anything a pooled cursor could already
+		// hold; a closed os.File must surface an error.
+		t.Fatalf("read after final release: err=%v, want a closed-file error", err)
+	}
+}
+
+// TestCacheClosed: acquire after close fails, and closing with live
+// handles defers their close to the final release.
+func TestCacheClosed(t *testing.T) {
+	cat, _ := cacheFixture(t)
+	c, _ := newTestCache(t, 0)
+
+	h := mustAcquire(t, c, cat, "dense.gz")
+	c.close()
+	b, _ := cat.Lookup("dense.gz")
+	if _, err := c.acquire(b); err != errCacheClosed {
+		t.Fatalf("acquire after close: err=%v, want errCacheClosed", err)
+	}
+	// The held handle still works, then closes on release.
+	p := make([]byte, 64)
+	if _, err := h.File().ReadAt(p, 0); err != nil && err != io.EOF {
+		t.Fatalf("read on handle across close: %v", err)
+	}
+	h.Release()
+}
+
+// TestCacheSidecarSkipsBuild: a blob with a sidecar index never kicks
+// a background build — the index is already attached at open.
+func TestCacheSidecarSkipsBuild(t *testing.T) {
+	cat, oracle := cacheFixture(t)
+	met := metrics.New()
+	c := newHandleCache(CacheOptions{
+		File:         pugz.FileOptions{Threads: 2, MinChunk: 16 << 10},
+		IndexSpacing: 128 << 10, // builds enabled
+		Metrics:      met,
+	})
+	t.Cleanup(c.close)
+
+	h := mustAcquire(t, c, cat, "a.gz") // has a.gz.gzx on disk
+	defer h.Release()
+	if got := met.IndexBuilds.Value(); got != 0 {
+		t.Fatalf("index_builds = %d for sidecar blob, want 0", got)
+	}
+	// And the sidecar actually serves: size is known without any
+	// measuring pass having run.
+	if size, ok := h.File().CachedSize(); !ok || size != int64(len(oracle["a.gz"])) {
+		t.Fatalf("CachedSize = %d,%v; want %d from sidecar", size, ok, len(oracle["a.gz"]))
+	}
+}

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Blob is one entry of the served catalog: a gzip file at rest, plus
+// the sidecar checkpoint index next to it if one exists. The name is
+// the public identifier (the {name} of GET /blobs/{name}); the paths
+// are private to the server.
+type Blob struct {
+	Name           string
+	Path           string
+	IndexPath      string // "" when no sidecar index exists
+	CompressedSize int64
+	ModTime        time.Time
+}
+
+// Catalog is the immutable set of blobs a server mounts at startup:
+// a directory scan or a manifest file. Lookup is a pure map access —
+// request names never touch the filesystem, so a hostile name cannot
+// traverse outside the mounted set.
+type Catalog struct {
+	byName map[string]Blob
+	names  []string // sorted
+}
+
+// indexSuffix is the sidecar naming convention shared with
+// `pugz -mkindex`: the checkpoint index of x.gz lives at x.gz.gzx.
+const indexSuffix = ".gzx"
+
+// ScanDir builds a catalog of every *.gz file under dir (recursively).
+// Blob names are slash-separated paths relative to dir; a sibling
+// <file>.gzx is attached as the blob's sidecar index.
+func ScanDir(dir string) (*Catalog, error) {
+	c := &Catalog{byName: make(map[string]Blob)}
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".gz") {
+			return nil
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		return c.add(filepath.ToSlash(rel), path)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(c.byName) == 0 {
+		return nil, fmt.Errorf("serve: no .gz blobs under %s", dir)
+	}
+	c.finish()
+	return c, nil
+}
+
+// LoadManifest builds a catalog from a manifest file: one blob per
+// line, either "name path" (whitespace-separated) or a bare path whose
+// base name becomes the blob name. Blank lines and #-comments are
+// skipped. Relative paths resolve against the manifest's directory.
+func LoadManifest(path string) (*Catalog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	base := filepath.Dir(path)
+	c := &Catalog{byName: make(map[string]Blob)}
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		var name, blobPath string
+		switch len(fields) {
+		case 1:
+			blobPath = fields[0]
+			name = filepath.Base(blobPath)
+		case 2:
+			name, blobPath = fields[0], fields[1]
+		default:
+			return nil, fmt.Errorf("serve: %s:%d: want NAME PATH or PATH, got %d fields", path, line, len(fields))
+		}
+		if !filepath.IsAbs(blobPath) {
+			blobPath = filepath.Join(base, blobPath)
+		}
+		if err := c.add(name, blobPath); err != nil {
+			return nil, fmt.Errorf("serve: %s:%d: %w", path, line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(c.byName) == 0 {
+		return nil, fmt.Errorf("serve: manifest %s lists no blobs", path)
+	}
+	c.finish()
+	return c, nil
+}
+
+// add stats path and files the blob under name.
+func (c *Catalog) add(name, path string) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if !fi.Mode().IsRegular() {
+		return fmt.Errorf("%s: not a regular file", path)
+	}
+	if _, dup := c.byName[name]; dup {
+		return fmt.Errorf("duplicate blob name %q", name)
+	}
+	b := Blob{Name: name, Path: path, CompressedSize: fi.Size(), ModTime: fi.ModTime()}
+	if ifi, err := os.Stat(path + indexSuffix); err == nil && ifi.Mode().IsRegular() {
+		b.IndexPath = path + indexSuffix
+	}
+	c.byName[name] = b
+	return nil
+}
+
+func (c *Catalog) finish() {
+	c.names = make([]string, 0, len(c.byName))
+	for name := range c.byName {
+		c.names = append(c.names, name)
+	}
+	sort.Strings(c.names)
+}
+
+// Lookup returns the blob registered under name.
+func (c *Catalog) Lookup(name string) (Blob, bool) {
+	b, ok := c.byName[name]
+	return b, ok
+}
+
+// Names returns the sorted blob names (shared slice; do not mutate).
+func (c *Catalog) Names() []string { return c.names }
+
+// Len returns the number of blobs.
+func (c *Catalog) Len() int { return len(c.byName) }

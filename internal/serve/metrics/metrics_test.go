@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestRegistrySnapshotAndJSON(t *testing.T) {
+	g := New()
+	g.ObserveRequest(206, 100)
+	g.ObserveRequest(200, 50)
+	g.ObserveRequest(416, 0)
+	g.ObserveRequest(404, 0)
+	g.ObserveRequest(500, 0)
+	g.BytesInflated.Add(300)
+	g.Blob("x.gz").CacheHits.Add(2)
+
+	m := g.Snapshot()
+	for key, want := range map[string]int64{
+		"requests_total":       5,
+		"status_206":           1,
+		"status_2xx":           1,
+		"status_416":           1,
+		"status_4xx":           1,
+		"status_5xx":           1,
+		"bytes_served":         150,
+		"bytes_inflated":       300,
+		"blob.x.gz.cache_hits": 2,
+	} {
+		if m[key] != want {
+			t.Errorf("%s = %d, want %d", key, m[key], want)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, nil)
+	var doc map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("/metrics is not valid JSON: %v\n%s", err, rec.Body.String())
+	}
+	if doc["requests_total"].(float64) != 5 {
+		t.Errorf("rendered requests_total = %v", doc["requests_total"])
+	}
+	if _, ok := doc["qps_10s"]; !ok {
+		t.Error("rendered doc missing qps_10s")
+	}
+	if got := doc["inflated_per_served"].(float64); got != 2 {
+		t.Errorf("inflated_per_served = %v, want 2", got)
+	}
+}
+
+func TestRateWindow(t *testing.T) {
+	var r rateWindow
+	now := time.Unix(1000, 0)
+	for i := 0; i < 5; i++ {
+		r.add(now.Add(time.Duration(i)*time.Second), 10)
+	}
+	// Observed from one second after the last add: all five buckets are
+	// completed seconds inside the 10 s window.
+	got := r.perSec(now.Add(5 * time.Second))
+	if want := 50.0 / rateSpanSec; got != want {
+		t.Errorf("perSec = %v, want %v", got, want)
+	}
+	// Far in the future the window is empty.
+	if got := r.perSec(now.Add(100 * time.Second)); got != 0 {
+		t.Errorf("perSec after idle = %v, want 0", got)
+	}
+}

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+)
+
+// RFC 7233 single-range interpretation. The server advertises
+// Accept-Ranges: bytes and answers one byte-range per request;
+// everything it may legitimately ignore (other units, multi-range
+// sets, malformed headers) degrades to a full 200 response, which the
+// RFC explicitly allows ("an origin server MAY ignore the Range header
+// field"). Only a syntactically valid, unsatisfiable bytes range earns
+// a 416.
+
+// byteRange is a resolved, satisfiable range: length > 0 bytes of the
+// representation starting at start.
+type byteRange struct {
+	start  int64
+	length int64
+}
+
+// errUnsatisfiable marks a valid bytes range that selects nothing
+// inside the representation: the 416 + Content-Range: bytes */size
+// case.
+var errUnsatisfiable = errors.New("serve: requested range not satisfiable")
+
+// parseRange interprets a Range header value against a representation
+// of the given size.
+//
+//	r, ok, err := parseRange(h, size)
+//	err == errUnsatisfiable  -> respond 416
+//	ok                       -> respond 206 with r
+//	neither                  -> ignore the header, respond 200
+func parseRange(h string, size int64) (byteRange, bool, error) {
+	none := byteRange{}
+	h = strings.TrimSpace(h)
+	if h == "" {
+		return none, false, nil
+	}
+	const unit = "bytes="
+	if len(h) < len(unit) || !strings.EqualFold(h[:len(unit)], unit) {
+		return none, false, nil // some other range unit: ignore
+	}
+	spec := strings.TrimSpace(h[len(unit):])
+	if spec == "" || strings.Contains(spec, ",") {
+		return none, false, nil // empty or multi-range set: ignore
+	}
+	dash := strings.Index(spec, "-")
+	if dash < 0 {
+		return none, false, nil
+	}
+	first, last := strings.TrimSpace(spec[:dash]), strings.TrimSpace(spec[dash+1:])
+
+	if first == "" {
+		// Suffix range "-N": the final N bytes. N == 0 selects nothing
+		// (unsatisfiable); N beyond the size clamps to the whole
+		// representation.
+		n, err := parseRangeInt(last)
+		if err != nil {
+			return none, false, nil
+		}
+		if n == 0 || size == 0 {
+			return none, false, errUnsatisfiable
+		}
+		if n > size {
+			n = size
+		}
+		return byteRange{start: size - n, length: n}, true, nil
+	}
+
+	start, err := parseRangeInt(first)
+	if err != nil {
+		return none, false, nil
+	}
+	if start >= size {
+		// Includes the start-exactly-at-EOF read and anything beyond —
+		// and every range against an empty representation.
+		return none, false, errUnsatisfiable
+	}
+	if last == "" {
+		// Open range "A-": from A to the end.
+		return byteRange{start: start, length: size - start}, true, nil
+	}
+	end, err := parseRangeInt(last)
+	if err != nil || end < start {
+		return none, false, nil
+	}
+	if end > size-1 {
+		end = size - 1
+	}
+	return byteRange{start: start, length: end - start + 1}, true, nil
+}
+
+// parseRangeInt parses a non-negative byte position/count. Leading
+// zeros are fine; signs, blanks and overflow are not.
+func parseRangeInt(s string) (int64, error) {
+	if s == "" || s[0] == '-' || s[0] == '+' {
+		return 0, strconv.ErrSyntax
+	}
+	return strconv.ParseInt(s, 10, 64)
+}

@@ -1,0 +1,78 @@
+package serve
+
+import "testing"
+
+func TestParseRange(t *testing.T) {
+	const size = 1000
+	tests := []struct {
+		h     string
+		start int64
+		n     int64
+		ok    bool
+		unsat bool
+	}{
+		// Absent / ignorable headers serve the full representation.
+		{h: ""},
+		{h: "items=0-5"},
+		{h: "bytes=0-1,5-6"}, // multi-range set: MAY ignore
+		{h: "bytes=abc-5"},
+		{h: "bytes=5-abc"},
+		{h: "bytes=5-4"}, // last < first: invalid, ignore
+		{h: "bytes=-"},
+		{h: "bytes=--5"},
+		{h: "bytes=+5-9"},
+		{h: "bytes="},
+
+		// Satisfiable single ranges.
+		{h: "bytes=0-499", start: 0, n: 500, ok: true},
+		{h: "bytes=500-999", start: 500, n: 500, ok: true},
+		{h: "bytes=500-2000", start: 500, n: 500, ok: true}, // end clamps
+		{h: "bytes=999-999", start: 999, n: 1, ok: true},
+		{h: "bytes=0-0", start: 0, n: 1, ok: true},
+		{h: "bytes=500-", start: 500, n: 500, ok: true},
+		{h: "bytes=-100", start: 900, n: 100, ok: true},
+		{h: "bytes=-2000", start: 0, n: 1000, ok: true}, // suffix > size: whole
+		{h: "BYTES=0-4", start: 0, n: 5, ok: true},      // unit is case-insensitive
+		{h: "bytes= 0-4 ", start: 0, n: 5, ok: true},
+		{h: "bytes=007-009", start: 7, n: 3, ok: true},
+
+		// Valid but unsatisfiable: 416.
+		{h: "bytes=1000-1001", unsat: true}, // starts exactly at EOF
+		{h: "bytes=1000-", unsat: true},
+		{h: "bytes=5000-", unsat: true},
+		{h: "bytes=-0", unsat: true},
+	}
+	for _, tt := range tests {
+		r, ok, err := parseRange(tt.h, size)
+		switch {
+		case tt.unsat:
+			if err != errUnsatisfiable {
+				t.Errorf("%q: err=%v, want errUnsatisfiable", tt.h, err)
+			}
+		case tt.ok:
+			if err != nil || !ok {
+				t.Errorf("%q: ok=%v err=%v, want satisfiable", tt.h, ok, err)
+			} else if r.start != tt.start || r.length != tt.n {
+				t.Errorf("%q: got [%d,+%d), want [%d,+%d)", tt.h, r.start, r.length, tt.start, tt.n)
+			}
+		default:
+			if ok || err != nil {
+				t.Errorf("%q: ok=%v err=%v, want ignored", tt.h, ok, err)
+			}
+		}
+	}
+}
+
+// TestParseRangeEmptyRepresentation: every bytes range against a
+// zero-length representation is unsatisfiable.
+func TestParseRangeEmptyRepresentation(t *testing.T) {
+	for _, h := range []string{"bytes=0-", "bytes=0-0", "bytes=-5", "bytes=-0"} {
+		if _, _, err := parseRange(h, 0); err != errUnsatisfiable {
+			t.Errorf("%q vs size 0: err=%v, want errUnsatisfiable", h, err)
+		}
+	}
+	// No header still means "serve the (empty) full body".
+	if _, ok, err := parseRange("", 0); ok || err != nil {
+		t.Errorf("empty header vs size 0: ok=%v err=%v", ok, err)
+	}
+}

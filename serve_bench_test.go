@@ -1,0 +1,116 @@
+package pugz_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	pugz "repro"
+	"repro/internal/serve"
+)
+
+// BenchmarkServeRange measures the serving daemon's request path over
+// real HTTP: "hot" is a ranged GET against a resident handle with a
+// checkpoint index attached (the steady state of a long-running
+// pugzd), "cold" pays a fresh server's first deep request — handle
+// open plus the unindexed forward scan to the offset — the worst-case
+// first touch of a just-mounted blob.
+func BenchmarkServeRange(b *testing.B) {
+	loadFixtures(b)
+	dir := b.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "reads.gz"), fixGz, 0o644); err != nil {
+		b.Fatal(err)
+	}
+	ix, err := pugz.BuildIndex(fixGz, 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sidecar, err := ix.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "reads.gz.gzx"), sidecar, 0o644); err != nil {
+		b.Fatal(err)
+	}
+	cat, err := serve.ScanDir(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The cold benchmark mounts the same blob without its sidecar, so
+	// the first deep request really pays the unindexed forward scan.
+	coldDir := b.TempDir()
+	if err := os.WriteFile(filepath.Join(coldDir, "reads.gz"), fixGz, 0o644); err != nil {
+		b.Fatal(err)
+	}
+	coldCat, err := serve.ScanDir(coldDir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	newServer := func(cat *serve.Catalog) (*serve.Server, *httptest.Server) {
+		s, err := serve.New(serve.Options{
+			Catalog:      cat,
+			File:         pugz.FileOptions{Threads: 4},
+			IndexSpacing: -1, // the sidecar is the index; no background builds
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s, httptest.NewServer(s.Handler())
+	}
+	const readLen = 64 << 10
+	size := ix.Size()
+
+	getRange := func(client *http.Client, url string, off int64) {
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", off, off+readLen-1))
+		resp, err := client.Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusPartialContent || n != readLen {
+			b.Fatalf("status %d, %d bytes, err %v", resp.StatusCode, n, err)
+		}
+	}
+
+	b.Run("hot", func(b *testing.B) {
+		s, ts := newServer(cat)
+		defer func() { ts.Close(); s.Close() }()
+		client := ts.Client()
+		url := ts.URL + "/blobs/reads.gz"
+		getRange(client, url, 0) // warm the handle cache
+		span := size - readLen
+		b.ReportAllocs()
+		b.SetBytes(readLen)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			getRange(client, url, (int64(i)*2654435761)%span)
+		}
+	})
+
+	b.Run("cold", func(b *testing.B) {
+		off := size * 3 / 4
+		b.ReportAllocs()
+		b.SetBytes(readLen)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s, ts := newServer(coldCat)
+			client := ts.Client()
+			b.StartTimer()
+			getRange(client, ts.URL+"/blobs/reads.gz", off)
+			b.StopTimer()
+			ts.Close()
+			s.Close()
+			b.StartTimer()
+		}
+	})
+}

@@ -4,9 +4,23 @@ GO ?= go
 FUZZTIME ?= 10s
 
 .PHONY: ci vet build test race race-internal race-serve race-diff race-rest \
-	race-cmd fuzz-smoke bench bench-smoke benchdiff serve loadtest clean
+	race-cmd fuzz-smoke bench bench-smoke benchdiff api apicheck serve \
+	loadtest clean
 
-ci: vet build race fuzz-smoke
+ci: vet build apicheck race fuzz-smoke
+
+# Public API surface gate: API.txt is the committed `go doc -all`
+# rendering of the root package. apicheck regenerates it and fails on
+# any drift, so every exported-surface change is explicit in review;
+# after an intentional change, `make api` refreshes the committed file.
+api:
+	$(GO) doc -all . > API.txt
+
+apicheck:
+	@mkdir -p .tmp
+	@$(GO) doc -all . > .tmp/API.txt
+	@diff -u API.txt .tmp/API.txt \
+		|| { echo "apicheck: exported API drifted from API.txt; run 'make api' and commit if intended" >&2; exit 1; }
 
 vet:
 	$(GO) vet ./...
@@ -59,7 +73,7 @@ fuzz-smoke:
 # `make bench PR=5` writes BENCH_PR5.json — and commit the file;
 # `make benchdiff` (and CI) compares the two most recent captures.
 # BENCHTIME can be raised for stable numbers on quiet hardware.
-PR ?= 8
+PR ?= 9
 BENCHTIME ?= 1x
 BENCHOUT ?= BENCH_PR$(PR).json
 bench:

@@ -124,17 +124,25 @@ func LoadIndex(gz []byte, blob []byte) (*Index, error) {
 	return &Index{inner: inner, payloadOff: int64(m.HeaderLen)}, nil
 }
 
-// SetIndex attaches a serialised checkpoint index (Index.Marshal) that
-// was built for this same gzip file: subsequent ReadAt calls within
-// the indexed extent decode from the nearest checkpoint instead of
-// scanning from the start. The attach is atomic, so SetIndex may run
-// concurrently with reads.
+// AttachIndex attaches an already-built (or loaded) checkpoint index
+// for this same gzip file: subsequent ReadAt calls within the indexed
+// extent decode from the nearest checkpoint instead of scanning from
+// the start. A nil index detaches. The attach is atomic, so
+// AttachIndex may run concurrently with reads.
+func (f *File) AttachIndex(ix *Index) { f.setIndex(ix) }
+
+// SetIndex is AttachIndex over a serialised blob (Index.Marshal): it
+// unmarshals and attaches in one step.
+//
+// Deprecated: callers holding a *Index should AttachIndex it directly
+// instead of round-tripping through the blob encoding; SetIndex
+// survives as a thin wrapper for side-car loading.
 func (f *File) SetIndex(blob []byte) error {
 	inner, err := gzindex.Unmarshal(blob)
 	if err != nil {
 		return err
 	}
-	f.setIndex(&Index{inner: inner, payloadOff: f.hdrLen})
+	f.AttachIndex(&Index{inner: inner, payloadOff: f.hdrLen})
 	return nil
 }
 

@@ -23,6 +23,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fastq"
 	"repro/internal/flate"
+	"repro/internal/framing"
 	"repro/internal/gzipx"
 	"repro/internal/tracked"
 )
@@ -747,4 +748,60 @@ func BenchmarkTrackedPass1(b *testing.B) {
 		}
 		res.Release()
 	}
+}
+
+// BenchmarkRecordScan measures the exact record scanner (File.Records)
+// over an unindexed file for each shipped framing — records decoded,
+// framed and yielded per second, with throughput on the compressed
+// input consumed.
+func BenchmarkRecordScan(b *testing.B) {
+	loadFixtures(b)
+	jsonl := framing.GenJSONL(40_000, 99)
+	warc := framing.GenWARC(4_000, 98)
+	cases := []struct {
+		name   string
+		gz     []byte
+		framer pugz.Framer
+	}{
+		{"fastq", fixGz, pugz.FASTQFraming{}},
+		{"jsonl", mustCompress(b, jsonl, 6), pugz.NewlineFraming{ValidateJSON: true}},
+		{"warc", mustCompress(b, warc, 6), pugz.WARCFraming{}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(tc.gz)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f, err := pugz.NewFileBytes(tc.gz, pugz.FileOptions{Threads: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sc, err := f.Records(0, pugz.RecordOptions{Framer: tc.framer})
+				if err != nil {
+					b.Fatal(err)
+				}
+				n := 0
+				for sc.Next() {
+					n++
+				}
+				if err := sc.Err(); err != nil {
+					b.Fatal(err)
+				}
+				if n == 0 {
+					b.Fatal("no records scanned")
+				}
+				b.ReportMetric(float64(n), "records/op")
+			}
+		})
+	}
+}
+
+func mustCompress(b *testing.B, data []byte, level int) []byte {
+	b.Helper()
+	gz, err := pugz.Compress(data, level)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return gz
 }

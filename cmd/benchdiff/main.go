@@ -32,7 +32,7 @@ import (
 // token loops (exact and symbolic) behind the multi-symbol fast path,
 // and the daemon's HTTP range-serving path (hot indexed handle and
 // cold first touch). Everything else is warn-only.
-const defaultGate = `^Benchmark(Table2Pugz32|StreamingReader|FileReadAt|FileConcurrentReadAt|FileDeepSeek|FileSize|Pass2Translate|ResolveDensity|BuildIndex|FlateDecodeTokens|TrackedPass1|ServeRange)`
+const defaultGate = `^Benchmark(Table2Pugz32|StreamingReader|FileReadAt|FileConcurrentReadAt|FileDeepSeek|FileSize|Pass2Translate|ResolveDensity|BuildIndex|FlateDecodeTokens|TrackedPass1|ServeRange|RecordScan)`
 
 func main() {
 	gate := flag.String("gate", defaultGate, "regexp of benchmark names whose regressions fail (others warn)")

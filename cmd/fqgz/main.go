@@ -30,8 +30,8 @@ import (
 
 func main() {
 	offsetFlag := flag.String("offset", "25%", "compressed byte offset (absolute or NN%)")
-	maxOut := flag.Int("max", 0, "stop after this many decompressed bytes (0 = to end)")
-	minLen := flag.Int("minlen", 32, "minimum extracted sequence length")
+	maxOut := flag.Int64("max", 0, "stop after this many decompressed bytes (0 = to end)")
+	minLen := flag.Int("minlen", pugz.DefaultMinSeqLen, "minimum extracted sequence length")
 	clean := flag.Bool("clean", false, "print only sequences without undetermined characters")
 	summary := flag.Bool("summary", false, "print statistics instead of sequences")
 	stream := flag.Bool("stream", false, "decompress the whole stream in parallel and emit every sequence")
@@ -126,7 +126,7 @@ func main() {
 // bounded-memory parallel pipeline and walks FASTQ records as they
 // stream out — every sequence is fully resolved, so there is nothing
 // undetermined to flag.
-func streamAll(in string, threads, maxOut, minLen int, summary bool) {
+func streamAll(in string, threads int, maxOut int64, minLen int, summary bool) {
 	src, closeSrc, err := cliutil.OpenInput(in)
 	if err != nil {
 		fatal(err)
@@ -140,7 +140,7 @@ func streamAll(in string, threads, maxOut, minLen int, summary bool) {
 
 	var text io.Reader = r
 	if maxOut > 0 {
-		text = io.LimitReader(r, int64(maxOut))
+		text = io.LimitReader(r, maxOut)
 	}
 	br := bufio.NewReaderSize(text, 1<<20)
 

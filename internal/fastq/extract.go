@@ -23,6 +23,17 @@ type ExtractOptions struct {
 	// MinLen discards segments shorter than this many characters
 	// (the paper's "minimum read length" filter). Default 32.
 	MinLen int
+	// AnchorStart treats the start of text as a leading terminator, so
+	// a segment may begin at offset 0. Off by default: random-access
+	// text begins mid-stream, where the prefix of the first line is
+	// unknown. Incremental scanners over exact text set it for their
+	// first window (the scan offset is record-aligned by contract).
+	AnchorStart bool
+	// RequireEndTerminator rejects segments that run into the end of
+	// text instead of a newline or undetermined run. Off by default:
+	// the paper's grammar accepts end-of-text (sequences spanning into
+	// the next block are still useful DNA).
+	RequireEndTerminator bool
 }
 
 // DefaultMinLen is the default minimum extracted-sequence length.
@@ -47,6 +58,22 @@ const DefaultMinLen = 32
 func Extract(text []byte, o ExtractOptions) []Extracted {
 	if o.MinLen == 0 {
 		o.MinLen = DefaultMinLen
+	}
+	if o.AnchorStart && len(text) > 0 && dna.IsNucleotide(text[0]) {
+		// A virtual terminator precedes the text: run the unchanged
+		// grammar over a shifted copy and rebase. Only the first
+		// segment can differ (a '\n' before a nucleotide adds exactly
+		// one anchor), so this provably preserves every other match.
+		shifted := make([]byte, len(text)+1)
+		shifted[0] = '\n'
+		copy(shifted[1:], text)
+		o.AnchorStart = false
+		segs := Extract(shifted, o)
+		for i := range segs {
+			segs[i].Start--
+			segs[i].End--
+		}
+		return segs
 	}
 	isT := func(b byte) bool { return b == '\n' || b == tracked.UndeterminedByte }
 	isU := func(b byte) bool { return b == tracked.UndeterminedByte }
@@ -100,8 +127,13 @@ func Extract(text []byte, o ExtractOptions) []Extracted {
 		}
 		// The grammar requires a trailing T. An undetermined run we
 		// rolled back from supplies it, as does a newline; end-of-text
-		// is accepted for sequences spanning into the next block.
+		// is accepted for sequences spanning into the next block
+		// (unless the caller demands a real terminator).
 		if end < len(text) && !isT(text[end]) {
+			i = end
+			continue
+		}
+		if end == len(text) && o.RequireEndTerminator {
 			i = end
 			continue
 		}

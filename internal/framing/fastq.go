@@ -1,0 +1,62 @@
+package framing
+
+import (
+	"repro/internal/dna"
+	"repro/internal/fastq"
+)
+
+// FASTQ frames DNA-like segments with the paper's Appendix X-B grammar
+// (T D+ (U+ D+)* T over nucleotides, newlines and undetermined runs),
+// delegating to internal/fastq so the output is byte-for-byte
+// identical to the original fqgz pipeline. It is the one framer that
+// emits records containing holes — a partially resolved read is still
+// useful DNA, and Table I's "unambiguous sequences" statistic needs
+// the ambiguous ones counted.
+//
+// One deliberate deviation from the suffix-safe contract: the grammar
+// accepts end-of-text as a trailing terminator even when atEnd is
+// false (sequences spanning into the next, unresolved block are
+// reported). Callers that must not see truncated records — the exact
+// record scanner — drop end-touching records themselves.
+type FASTQ struct {
+	// MinLen discards segments shorter than this many bases
+	// (0 selects fastq.DefaultMinLen, 32).
+	MinLen int
+}
+
+// Name implements Framer.
+func (FASTQ) Name() string { return "fastq" }
+
+// NextBoundary implements Framer: the first offset after a terminator
+// (newline or undetermined byte) holding a nucleotide.
+func (FASTQ) NextBoundary(text []byte, off int) int {
+	if off < 1 {
+		off = 1
+	}
+	for i := off; i < len(text); i++ {
+		if (text[i-1] == '\n' || text[i-1] == Hole) && dna.IsNucleotide(text[i]) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Records implements Framer.
+func (f FASTQ) Records(text []byte, atStart, atEnd bool) []Record {
+	segs := fastq.Extract(text, fastq.ExtractOptions{
+		MinLen:      f.MinLen,
+		AnchorStart: atStart,
+	})
+	out := make([]Record, 0, len(segs))
+	for _, s := range segs {
+		out = append(out, Record{Start: s.Start, End: s.End, Holes: s.Undetermined})
+	}
+	return out
+}
+
+// Resolved implements Framer via the paper's Section VI-B rule: at
+// least threshold extracted sequences, all unambiguous.
+func (f FASTQ) Resolved(blockText []byte, threshold int) bool {
+	return fastq.BlockResolved(blockText, fastq.ExtractOptions{MinLen: f.MinLen},
+		resolveThreshold(threshold))
+}

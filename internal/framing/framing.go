@@ -1,0 +1,110 @@
+// Package framing generalises the paper's "sync then extract" layer
+// beyond FASTQ: given text decoded from an arbitrary position inside a
+// gzip member — possibly holed with undetermined ('?') bytes where
+// back-references reached before the synchronisation point — a Framer
+// knows how to locate record boundaries, recover complete records, and
+// judge when a block's output has become record-resolved.
+//
+// The package ships four framings:
+//
+//   - FASTQ: the paper's Appendix X-B DNA grammar (delegating to
+//     internal/fastq, byte-for-byte identical to the original
+//     pipeline).
+//   - Newline: newline-delimited records (logs, JSONL with optional
+//     JSON validation). Index-free access is viable: any real '\n' is
+//     a boundary.
+//   - LengthPrefixed: binary length-prefix framing. Index-free access
+//     is viable only with a Magic marker; bare length prefixes cannot
+//     be re-synchronised inside holed text.
+//   - WARC: WARC/1.x records ("WARC/1.x" version line + header block
+//   - Content-Length body). The version magic makes index-free
+//     access viable.
+//
+// Boundary semantics are suffix-safe throughout: the start of scanned
+// text is never assumed to be a record boundary (it is mid-stream
+// after a block sync) unless the caller vouches for it with atStart,
+// and the end of text terminates a record only when the caller knows
+// it is a true end of stream (atEnd). The sole exception is FASTQ,
+// whose published grammar accepts end-of-text as a terminator — see
+// FASTQ for why that stays.
+package framing
+
+import "repro/internal/tracked"
+
+// Hole is the byte standing in for an unresolved character in
+// random-access output ('?' throughout the paper's figures).
+const Hole = tracked.UndeterminedByte
+
+// Record is one framed record located in scanned text. Start and End
+// delimit the record's content (framing overhead — terminators, length
+// prefixes, trailing separators — is excluded); Holes counts
+// undetermined bytes inside [Start, End). Every framer except FASTQ
+// emits only hole-free records (Holes == 0): a partially resolved log
+// line or WARC record is garbage, whereas partially resolved DNA is
+// still DNA.
+type Record struct {
+	Start, End int
+	Holes      int
+}
+
+// Len returns the record's content length in bytes.
+func (r Record) Len() int { return r.End - r.Start }
+
+// Bytes materialises the record from the scanned text.
+func (r Record) Bytes(text []byte) []byte { return text[r.Start:r.End] }
+
+// Clean reports whether the record contains no undetermined bytes.
+func (r Record) Clean() bool { return r.Holes == 0 }
+
+// Framer is a pluggable record framing: how to find a record boundary
+// inside possibly-holed text, how to split resolved text into records,
+// and when a decoded block counts as record-resolved. Implementations
+// must be usable concurrently (they are value types consulted by any
+// number of readers; all state is configuration).
+type Framer interface {
+	// Name identifies the framing ("fastq", "newline", ...).
+	Name() string
+
+	// NextBoundary returns the smallest offset >= off at which a
+	// record can begin — an offset immediately after a confirmed
+	// terminator, or at a self-identifying record magic — or -1 when
+	// no boundary is confirmed in text. Offset 0 is never returned
+	// (suffix-safe: the text's own start is not a confirmed boundary).
+	NextBoundary(text []byte, off int) int
+
+	// Records parses complete records from text, in order,
+	// non-overlapping. atStart marks offset 0 as a known record
+	// boundary (the caller's scan position is record-aligned); atEnd
+	// marks the end of text as a true end of stream, allowing a final
+	// unterminated record.
+	Records(text []byte, atStart, atEnd bool) []Record
+
+	// Resolved reports whether blockText — one decoded block's output,
+	// possibly holed — is record-resolved: it yields at least
+	// threshold trustworthy records (threshold <= 0 selects a
+	// framer-appropriate default). This is the Section VI-B
+	// "sequence-resolved block" judgment, generalised.
+	Resolved(blockText []byte, threshold int) bool
+}
+
+// DefaultResolvedThreshold is the default minimum record count for
+// Resolved, shared by every framer (the paper's Section VI-B value).
+const DefaultResolvedThreshold = 4
+
+func resolveThreshold(threshold int) int {
+	if threshold <= 0 {
+		return DefaultResolvedThreshold
+	}
+	return threshold
+}
+
+// holesIn counts undetermined bytes in text.
+func holesIn(text []byte) int {
+	n := 0
+	for _, b := range text {
+		if b == Hole {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,217 @@
+package framing
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func recStrings(text []byte, recs []Record) []string {
+	var out []string
+	for _, r := range recs {
+		out = append(out, string(r.Bytes(text)))
+	}
+	return out
+}
+
+func wantRecords(t *testing.T, text []byte, got []Record, want ...string) {
+	t.Helper()
+	gs := recStrings(text, got)
+	if len(gs) != len(want) {
+		t.Fatalf("got %d records %q, want %d %q", len(gs), gs, len(want), want)
+	}
+	for i := range want {
+		if gs[i] != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, gs[i], want[i])
+		}
+	}
+}
+
+func TestNewlineSuffixSafety(t *testing.T) {
+	f := Newline{}
+	text := []byte("tail of a cut line\nalpha\nbeta\ngamma")
+
+	// Neither the head fragment nor the unterminated tail is a record.
+	wantRecords(t, text, f.Records(text, false, false), "alpha", "beta")
+	// atStart admits the head, atEnd the tail.
+	wantRecords(t, text, f.Records(text, true, true),
+		"tail of a cut line", "alpha", "beta", "gamma")
+
+	if b := f.NextBoundary(text, 0); b != bytes.IndexByte(text, '\n')+1 {
+		t.Fatalf("NextBoundary = %d", b)
+	}
+	if b := f.NextBoundary([]byte("no newline here"), 0); b != -1 {
+		t.Fatalf("NextBoundary without delimiter = %d, want -1", b)
+	}
+}
+
+func TestNewlineHoles(t *testing.T) {
+	f := Newline{}
+	text := []byte("ok-one\nbro?ken\nok-two\n??\npartial-after-hole")
+	recs := f.Records(text, true, true)
+	// bro?ken overlaps a hole and the '??' line is all holes: both are
+	// dropped. The tail is clean and its left '\n' is real, so with
+	// atEnd=true it is admitted despite following a holed line.
+	wantRecords(t, text, recs, "ok-one", "ok-two", "partial-after-hole")
+	for _, r := range recs {
+		if !r.Clean() {
+			t.Fatalf("newline framer emitted a holed record %q", r.Bytes(text))
+		}
+	}
+	wantRecords(t, text, f.Records(text, true, false), "ok-one", "ok-two")
+}
+
+func TestJSONLValidation(t *testing.T) {
+	f := Newline{ValidateJSON: true}
+	text := []byte("{\"ok\":1}\nnot json\n[1,2,3]\n{\"broken\":\n")
+	wantRecords(t, text, f.Records(text, true, true), `{"ok":1}`, "[1,2,3]")
+	if f.Name() != "jsonl" {
+		t.Fatalf("Name = %q", f.Name())
+	}
+}
+
+func TestNewlineResolved(t *testing.T) {
+	f := Newline{}
+	clean := []byte("head\na\nbb\nccc\ndddd\neeee\n")
+	if !f.Resolved(clean, 4) {
+		t.Fatal("clean block with 5 records not resolved at threshold 4")
+	}
+	if f.Resolved(clean, 6) {
+		t.Fatal("5 records resolved at threshold 6")
+	}
+	holed := []byte("head\na\nbb\nc?c\ndddd\neeee\n")
+	if f.Resolved(holed, 4) {
+		t.Fatal("block with interior hole counted as resolved")
+	}
+	if f.Resolved([]byte("no delimiters at all"), 1) {
+		t.Fatal("boundary-free block resolved")
+	}
+}
+
+func TestLengthPrefixed(t *testing.T) {
+	f := LengthPrefixed{Magic: []byte("\xfeRC")}
+	var corpus []byte
+	recs := []string{"alpha", "bravo-bravo", "charlie"}
+	for _, r := range recs {
+		corpus = append(corpus, f.Magic...)
+		corpus = binary.LittleEndian.AppendUint32(corpus, uint32(len(r)))
+		corpus = append(corpus, r...)
+	}
+	wantRecords(t, corpus, f.Records(corpus, true, true), recs...)
+
+	// Mid-stream suffix: the cut first record is skipped, magic re-syncs.
+	suffix := corpus[3:]
+	wantRecords(t, suffix, f.Records(suffix, false, true), recs[1:]...)
+
+	// A hole inside a payload drops exactly that record.
+	holed := append([]byte(nil), corpus...)
+	holed[len(f.Magic)+4+1] = Hole
+	wantRecords(t, holed, f.Records(holed, true, true), recs[1:]...)
+
+	// Truncated final record is never emitted.
+	wantRecords(t, corpus[:len(corpus)-2], f.Records(corpus[:len(corpus)-2], true, true), recs[:2]...)
+
+	// Without a Magic there is no confirmable suffix boundary.
+	bare := LengthPrefixed{}
+	var raw []byte
+	for _, r := range recs {
+		raw = binary.LittleEndian.AppendUint32(raw, uint32(len(r)))
+		raw = append(raw, r...)
+	}
+	wantRecords(t, raw, bare.Records(raw, true, true), recs...)
+	if got := bare.Records(raw[2:], false, true); len(got) != 0 {
+		t.Fatalf("bare length-prefix framing synced inside a suffix: %q", recStrings(raw[2:], got))
+	}
+	if b := bare.NextBoundary(raw, 0); b != -1 {
+		t.Fatalf("bare NextBoundary = %d, want -1", b)
+	}
+}
+
+func TestWARC(t *testing.T) {
+	f := WARC{}
+	corpus := GenWARC(6, 7)
+	recs := f.Records(corpus, true, true)
+	if len(recs) != 6 {
+		t.Fatalf("got %d records, want 6", len(recs))
+	}
+	for _, r := range recs {
+		if !bytes.HasPrefix(r.Bytes(corpus), []byte("WARC/1.0\r\n")) {
+			t.Fatalf("record does not start at version line: %q", r.Bytes(corpus)[:20])
+		}
+	}
+
+	// Suffix starting mid-record: sync to the next version line.
+	cut := recs[1].Start + 10
+	suffix := corpus[cut:]
+	srecs := f.Records(suffix, false, true)
+	if len(srecs) != 4 {
+		t.Fatalf("suffix recovered %d records, want 4", len(srecs))
+	}
+	if string(srecs[0].Bytes(suffix)) != string(recs[2].Bytes(corpus)) {
+		t.Fatal("suffix sync recovered the wrong record")
+	}
+
+	// A hole inside a body drops that record, later ones survive.
+	holed := append([]byte(nil), corpus...)
+	holed[recs[2].End-3] = Hole
+	hrecs := f.Records(holed, true, true)
+	if len(hrecs) != 5 {
+		t.Fatalf("holed corpus recovered %d records, want 5", len(hrecs))
+	}
+
+	// Truncated final body is never emitted.
+	trunc := corpus[:recs[5].End-1]
+	if got := f.Records(trunc, true, true); len(got) != 5 {
+		t.Fatalf("truncated corpus recovered %d records, want 5", len(got))
+	}
+
+	if !f.Resolved(corpus, 4) {
+		t.Fatal("full WARC corpus not resolved")
+	}
+}
+
+func TestFASTQFramerMatchesExtract(t *testing.T) {
+	// The FASTQ framer must preserve the original pipeline's grammar,
+	// including end-of-text acceptance and hole-carrying records.
+	f := FASTQ{}
+	text := []byte("@r1\nACGTACGTACGTACGTACGTACGTACGTACGTACGT\n+\n!!!!\n??ACGT??TTTT" +
+		"ACGTACGTACGTACGTACGTACGTACGT")
+	recs := f.Records(text, false, true)
+	if len(recs) == 0 {
+		t.Fatal("no records")
+	}
+	var holed bool
+	for _, r := range recs {
+		if r.Holes > 0 {
+			holed = true
+		}
+	}
+	if !holed {
+		t.Fatal("FASTQ framer should carry holed records through")
+	}
+	// atStart admits a sequence at offset 0.
+	seq := []byte("ACGTACGTACGTACGTACGTACGTACGTACGTACGT\nrest")
+	if got := f.Records(seq, false, true); len(got) != 0 {
+		t.Fatalf("unanchored start emitted %d records", len(got))
+	}
+	got := f.Records(seq, true, true)
+	if len(got) != 1 || got[0].Start != 0 || got[0].End != 36 {
+		t.Fatalf("anchored start: %+v", got)
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	if rs := (Newline{ValidateJSON: true}).Records(GenJSONL(50, 1), true, true); len(rs) != 50 {
+		t.Fatalf("GenJSONL framed to %d records", len(rs))
+	}
+	if rs := (Newline{}).Records(GenLog(50, 1), true, true); len(rs) != 50 {
+		t.Fatalf("GenLog framed to %d records", len(rs))
+	}
+	if rs := (WARC{}).Records(GenWARC(50, 1), true, true); len(rs) != 50 {
+		t.Fatalf("GenWARC framed to %d records", len(rs))
+	}
+	// Determinism: same seed, same bytes.
+	if !bytes.Equal(GenWARC(10, 3), GenWARC(10, 3)) {
+		t.Fatal("GenWARC not deterministic")
+	}
+}

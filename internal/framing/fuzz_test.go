@@ -1,0 +1,61 @@
+package framing
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzHoledText drives every framer's boundary finder, record parser
+// and resolution judge over arbitrary hole-riddled text — the exact
+// shape random-access output takes — asserting the structural
+// invariants the record-access layer depends on.
+func FuzzHoledText(f *testing.F) {
+	f.Add([]byte("line one\nli?e two\nline three\n"), 0, true, true)
+	f.Add([]byte("??????\n{\"id\":1}\n{\"id\":2}\n"), 3, false, true)
+	f.Add(append(GenJSONL(4, 1)[7:], bytes.Repeat([]byte{Hole}, 9)...), 1, false, false)
+	f.Add(GenWARC(3, 2)[11:], 2, false, true)
+	f.Add([]byte("WARC/1.0\r\nContent-Length: 5\r\n\r\nab?de\r\n\r\n"), 0, true, true)
+	f.Add([]byte("\xfeRC\x05\x00\x00\x00hello\xfeRC\xff\xff\xff\xffoops"), 0, true, true)
+	f.Add([]byte("@r\nACGT?CGTACGTACGTACGTACGTACGTACGTACGT\n+\n!!!\n"), 0, false, true)
+
+	framers := []Framer{
+		FASTQ{}, FASTQ{MinLen: 4},
+		Newline{}, Newline{ValidateJSON: true},
+		WARC{}, WARC{MaxHeader: 64},
+		LengthPrefixed{Magic: []byte("\xfeRC")},
+		LengthPrefixed{Magic: []byte("\xfeRC"), PrefixLen: 2, BigEndian: true},
+		LengthPrefixed{},
+	}
+
+	f.Fuzz(func(t *testing.T, text []byte, off int, atStart, atEnd bool) {
+		for _, fr := range framers {
+			if off < 0 {
+				off = -off
+			}
+			if b := fr.NextBoundary(text, off%(len(text)+1)); b != -1 {
+				if b <= 0 || b >= len(text) {
+					t.Fatalf("%s: NextBoundary = %d outside (0, %d)", fr.Name(), b, len(text))
+				}
+			}
+			recs := fr.Records(text, atStart, atEnd)
+			prevEnd := 0
+			for i, r := range recs {
+				if r.Start < 0 || r.End > len(text) || r.Start > r.End {
+					t.Fatalf("%s: record %d extent [%d,%d) outside text of %d", fr.Name(), i, r.Start, r.End, len(text))
+				}
+				if r.Start < prevEnd {
+					t.Fatalf("%s: record %d at %d overlaps previous end %d", fr.Name(), i, r.Start, prevEnd)
+				}
+				prevEnd = r.End
+				holes := holesIn(r.Bytes(text))
+				if holes != r.Holes {
+					t.Fatalf("%s: record %d claims %d holes, has %d", fr.Name(), i, r.Holes, holes)
+				}
+				if fr.Name() != "fastq" && holes != 0 {
+					t.Fatalf("%s: emitted a record overlapping a hole: %q", fr.Name(), r.Bytes(text))
+				}
+			}
+			fr.Resolved(text, 2)
+		}
+	})
+}

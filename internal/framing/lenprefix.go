@@ -1,0 +1,136 @@
+package framing
+
+import "bytes"
+
+// LengthPrefixed frames binary records as an optional magic marker, a
+// little- or big-endian length field, then that many payload bytes.
+// Walking the framing requires a trusted starting boundary: a bare
+// length prefix is just bytes, so inside holed text there is nothing
+// to re-synchronise on and index-free random access is NOT viable —
+// unless Magic is set, in which case each record announces itself and
+// sync works like WARC's. Records are the payload bytes (marker and
+// prefix excluded); any hole inside marker, prefix or payload drops
+// the record.
+type LengthPrefixed struct {
+	// Magic, when non-empty, precedes every record's length field and
+	// enables boundary finding in holed text.
+	Magic []byte
+	// PrefixLen is the width of the length field in bytes, 1-8
+	// (0 selects 4).
+	PrefixLen int
+	// BigEndian selects big-endian length fields (default little).
+	BigEndian bool
+	// MaxRecord rejects implausibly long records — essential when
+	// scanning for sync, where a corrupt length would swallow the rest
+	// of the text (0 selects 1 MiB).
+	MaxRecord int
+}
+
+// Name implements Framer.
+func (LengthPrefixed) Name() string { return "lenprefix" }
+
+func (f LengthPrefixed) prefixLen() int {
+	if f.PrefixLen >= 1 && f.PrefixLen <= 8 {
+		return f.PrefixLen
+	}
+	return 4
+}
+
+func (f LengthPrefixed) maxRecord() int {
+	if f.MaxRecord > 0 {
+		return f.MaxRecord
+	}
+	return 1 << 20
+}
+
+// length decodes the hole-free length field at off, reporting ok=false
+// when the field is truncated, holed, or implausible.
+func (f LengthPrefixed) length(text []byte, off int) (n int, ok bool) {
+	w := f.prefixLen()
+	if off+w > len(text) {
+		return 0, false
+	}
+	var v uint64
+	for i := 0; i < w; i++ {
+		b := text[off+i]
+		if b == Hole {
+			return 0, false
+		}
+		if f.BigEndian {
+			v = v<<8 | uint64(b)
+		} else {
+			v |= uint64(b) << (8 * i)
+		}
+	}
+	if v > uint64(f.maxRecord()) {
+		return 0, false
+	}
+	return int(v), true
+}
+
+// NextBoundary implements Framer. Without a Magic there is no
+// confirmable boundary in suffix text and the result is always -1.
+func (f LengthPrefixed) NextBoundary(text []byte, off int) int {
+	if len(f.Magic) == 0 {
+		return -1
+	}
+	if off < 1 {
+		off = 1
+	}
+	for off < len(text) {
+		i := bytes.Index(text[off:], f.Magic)
+		if i < 0 {
+			return -1
+		}
+		p := off + i
+		if _, ok := f.length(text, p+len(f.Magic)); ok {
+			return p
+		}
+		off = p + 1
+	}
+	return -1
+}
+
+// Records implements Framer: walk the framing from every trusted
+// boundary (offset 0 when atStart, then each record's own end; after a
+// parse failure, re-sync via Magic when possible).
+func (f LengthPrefixed) Records(text []byte, atStart, atEnd bool) []Record {
+	var out []Record
+	pos := -1
+	if atStart {
+		pos = 0
+	} else {
+		pos = f.NextBoundary(text, 0)
+	}
+	for pos >= 0 && pos < len(text) {
+		p := pos
+		if len(f.Magic) > 0 {
+			if p+len(f.Magic) > len(text) || !bytes.Equal(text[p:p+len(f.Magic)], f.Magic) {
+				pos = f.NextBoundary(text, p+1)
+				continue
+			}
+			p += len(f.Magic)
+		}
+		n, ok := f.length(text, p)
+		if !ok {
+			pos = f.NextBoundary(text, pos+1)
+			continue
+		}
+		body := p + f.prefixLen()
+		if body+n > len(text) {
+			break // truncated final record: the length says more bytes exist
+		}
+		if holesIn(text[body:body+n]) == 0 {
+			out = append(out, Record{Start: body, End: body + n})
+		}
+		pos = body + n
+	}
+	return out
+}
+
+// Resolved implements Framer: at least threshold complete records
+// recovered (never true without a Magic — the framing cannot be
+// confirmed inside a block reached by sync).
+func (f LengthPrefixed) Resolved(blockText []byte, threshold int) bool {
+	return len(f.Records(blockText, false, true)) >= resolveThreshold(threshold)
+}

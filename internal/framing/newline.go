@@ -1,0 +1,97 @@
+package framing
+
+import "encoding/json"
+
+// Newline frames newline-delimited records: log lines, JSONL / NDJSON.
+// A record is the content between two confirmed '\n' delimiters; the
+// leading delimiter may instead be the start of text (atStart) and the
+// trailing one the end of text (atEnd). Records containing holes are
+// never emitted — a log line with unresolved bytes is not a record,
+// and a run of bytes reached after a hole is a line *tail* whose true
+// start is unknown. Index-free random access is viable: the first real
+// '\n' of the resolved suffix is a boundary.
+type Newline struct {
+	// ValidateJSON additionally requires each record to be a valid
+	// JSON value (JSONL framing). Lines that do not parse are dropped,
+	// which also filters delimiter look-alikes inside partially
+	// resolved text.
+	ValidateJSON bool
+	// MinLen discards records shorter than this many bytes. The
+	// default (0) still drops empty lines: an empty record carries no
+	// evidence it is one.
+	MinLen int
+}
+
+// Name implements Framer.
+func (f Newline) Name() string {
+	if f.ValidateJSON {
+		return "jsonl"
+	}
+	return "newline"
+}
+
+// NextBoundary implements Framer: the offset just past the first '\n'
+// at or after off (never 0 — the text's own start is unconfirmed).
+func (Newline) NextBoundary(text []byte, off int) int {
+	if off < 1 {
+		off = 1
+	}
+	for i := off; i < len(text); i++ {
+		if text[i-1] == '\n' {
+			return i
+		}
+	}
+	return -1
+}
+
+func (f Newline) minLen() int {
+	if f.MinLen > 0 {
+		return f.MinLen
+	}
+	return 1
+}
+
+// Records implements Framer.
+func (f Newline) Records(text []byte, atStart, atEnd bool) []Record {
+	var out []Record
+	start, ok, clean := 0, atStart, true
+	emit := func(start, end int) {
+		if end-start < f.minLen() {
+			return
+		}
+		if f.ValidateJSON && !json.Valid(text[start:end]) {
+			return
+		}
+		out = append(out, Record{Start: start, End: end})
+	}
+	for i := 0; i < len(text); i++ {
+		switch text[i] {
+		case '\n':
+			if ok && clean {
+				emit(start, i)
+			}
+			start, ok, clean = i+1, true, true
+		case Hole:
+			clean = false
+		}
+	}
+	if atEnd && ok && clean {
+		emit(start, len(text))
+	}
+	return out
+}
+
+// Resolved implements Framer: from the first confirmed boundary on,
+// the text contains no holes at all (every byte of a newline-framed
+// stream is record content, so any hole means some record is
+// ambiguous) and at least threshold records are recovered.
+func (f Newline) Resolved(blockText []byte, threshold int) bool {
+	b := f.NextBoundary(blockText, 0)
+	if b < 0 {
+		return false
+	}
+	if holesIn(blockText[b:]) != 0 {
+		return false
+	}
+	return len(f.Records(blockText, false, true)) >= resolveThreshold(threshold)
+}

@@ -1,0 +1,148 @@
+package framing
+
+import (
+	"bytes"
+	"strconv"
+)
+
+// WARC frames WARC/1.x web-archive records: a "WARC/1.x" version
+// line, CRLF-delimited named header fields including Content-Length,
+// a blank line, then exactly Content-Length body bytes, with a
+// "\r\n\r\n" separator before the next record. The version magic
+// makes records self-identifying, so index-free random access is
+// viable: sync lands anywhere, and the next intact "WARC/1." line
+// recovers the framing. A record — version line through body,
+// trailing separator excluded — is emitted only when fully resolved.
+type WARC struct {
+	// MaxHeader bounds the version-line-plus-header block accepted
+	// while parsing, so a holed or corrupt header cannot swallow the
+	// text (0 selects 16 KiB).
+	MaxHeader int
+}
+
+var (
+	warcMagic = []byte("WARC/1.")
+	crlfcrlf  = []byte("\r\n\r\n")
+)
+
+// Name implements Framer.
+func (WARC) Name() string { return "warc" }
+
+func (f WARC) maxHeader() int {
+	if f.MaxHeader > 0 {
+		return f.MaxHeader
+	}
+	return 16 << 10
+}
+
+// parse parses one record at pos, returning the end of its body and
+// whether the record is intact (hole-free with a well-formed header
+// carrying Content-Length). ok=false with end>pos means "skip to end
+// and re-sync"; end<0 means the record runs past the text.
+func (f WARC) parse(text []byte, pos int) (end int, ok bool) {
+	rest := text[pos:]
+	if !bytes.HasPrefix(rest, warcMagic) {
+		return pos + 1, false
+	}
+	limit := f.maxHeader()
+	if limit > len(rest) {
+		limit = len(rest)
+	}
+	hdrEnd := bytes.Index(rest[:limit], crlfcrlf)
+	if hdrEnd < 0 {
+		if len(rest) <= f.maxHeader() {
+			return -1, false // header may continue past the text
+		}
+		return pos + 1, false
+	}
+	header := rest[:hdrEnd]
+	if holesIn(header) != 0 {
+		return pos + 1, false
+	}
+	n, ok := contentLength(header)
+	if !ok {
+		return pos + 1, false
+	}
+	bodyStart := hdrEnd + len(crlfcrlf)
+	if bodyStart+n > len(rest) {
+		return -1, false // body runs past the text
+	}
+	end = pos + bodyStart + n
+	return end, holesIn(rest[bodyStart:bodyStart+n]) == 0
+}
+
+// contentLength extracts the Content-Length field (case-insensitive
+// name, as WARC permits) from a CRLF-delimited header block.
+func contentLength(header []byte) (int, bool) {
+	for _, line := range bytes.Split(header, []byte("\r\n")) {
+		name, value, found := bytes.Cut(line, []byte(":"))
+		if !found || !bytes.EqualFold(bytes.TrimSpace(name), []byte("Content-Length")) {
+			continue
+		}
+		n, err := strconv.Atoi(string(bytes.TrimSpace(value)))
+		if err != nil || n < 0 {
+			return 0, false
+		}
+		return n, true
+	}
+	return 0, false
+}
+
+// NextBoundary implements Framer: the first intact "WARC/1." magic at
+// a line start (offset 0 excluded — suffix-safe).
+func (f WARC) NextBoundary(text []byte, off int) int {
+	if off < 1 {
+		off = 1
+	}
+	for off < len(text) {
+		i := bytes.Index(text[off:], warcMagic)
+		if i < 0 {
+			return -1
+		}
+		p := off + i
+		if p > 0 && text[p-1] == '\n' {
+			return p
+		}
+		off = p + 1
+	}
+	return -1
+}
+
+// Records implements Framer.
+func (f WARC) Records(text []byte, atStart, atEnd bool) []Record {
+	var out []Record
+	pos := -1
+	if atStart && bytes.HasPrefix(text, warcMagic) {
+		pos = 0
+	} else {
+		pos = f.NextBoundary(text, 0)
+	}
+	for pos >= 0 && pos < len(text) {
+		end, ok := f.parse(text, pos)
+		if end < 0 {
+			break // record runs past the text: incomplete
+		}
+		if !ok {
+			pos = f.NextBoundary(text, end)
+			continue
+		}
+		out = append(out, Record{Start: pos, End: end})
+		// Step over the inter-record separator; tolerate its absence at
+		// a true end of stream or ahead of a re-sync.
+		if bytes.HasPrefix(text[end:], crlfcrlf) {
+			pos = end + len(crlfcrlf)
+			if pos < len(text) && !bytes.HasPrefix(text[pos:], warcMagic) {
+				pos = f.NextBoundary(text, pos)
+			}
+		} else {
+			pos = f.NextBoundary(text, end)
+		}
+	}
+	return out
+}
+
+// Resolved implements Framer: at least threshold intact records
+// recovered from the block.
+func (f WARC) Resolved(blockText []byte, threshold int) bool {
+	return len(f.Records(blockText, false, true)) >= resolveThreshold(threshold)
+}

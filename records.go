@@ -1,0 +1,177 @@
+package pugz
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/framing"
+)
+
+// RecordOptions configures a File.Records scan.
+type RecordOptions struct {
+	// Framer selects the record framing. nil selects FASTQFraming{}.
+	Framer Framer
+	// Sync marks the scan's starting offset as possibly mid-record:
+	// the scanner discards bytes up to the first confirmed record
+	// boundary instead of treating the offset as record-aligned.
+	Sync bool
+	// To stops the scan before records beginning at or after this
+	// decompressed offset (0 = scan to end of stream).
+	To int64
+	// MaxRecordBytes bounds the lookahead buffered for a single
+	// record; a record longer than this aborts the scan with an error
+	// (0 selects 16 MiB).
+	MaxRecordBytes int
+}
+
+// ErrRecordTooLong is returned by RecordScanner.Err when a single
+// record exceeds RecordOptions.MaxRecordBytes.
+var ErrRecordTooLong = errors.New("pugz: record exceeds MaxRecordBytes")
+
+// Records returns a scanner yielding the records of the decompressed
+// stream from decompressed offset from, in order. Unlike
+// RandomAccessAt this is the exact surface: bytes are decoded through
+// the File's normal read paths — nearest index checkpoint, retained
+// auto-index restart points, pooled forward-scan cursors — so an
+// ascending record scan costs one sequential pass and never yields an
+// undetermined byte. The offset must be record-aligned unless
+// RecordOptions.Sync is set.
+//
+// The scanner reads through File.ReadAt, so any number of scanners
+// (and other readers) may run concurrently over one File.
+//
+//	sc, _ := f.Records(0, pugz.RecordOptions{Framer: pugz.NewlineFraming{}})
+//	for sc.Next() {
+//		rec := sc.Record()
+//		// rec.Offset is the record's absolute decompressed offset.
+//	}
+//	if err := sc.Err(); err != nil { ... }
+func (f *File) Records(from int64, o RecordOptions) (*RecordScanner, error) {
+	if from < 0 {
+		return nil, fmt.Errorf("pugz: negative record scan offset %d", from)
+	}
+	fr := o.Framer
+	if fr == nil {
+		fr = FASTQFraming{}
+	}
+	if o.MaxRecordBytes <= 0 {
+		o.MaxRecordBytes = defaultMaxRecordBytes
+	}
+	return &RecordScanner{f: f, fr: fr, opts: o, base: from, atStart: !o.Sync}, nil
+}
+
+const (
+	defaultMaxRecordBytes = 16 << 20
+	recordScanChunk       = 256 << 10
+)
+
+// RecordScanner iterates the records of a File's decompressed stream:
+// call Next until it returns false, then check Err. It buffers one
+// read chunk of lookahead plus any incomplete record tail, and is not
+// safe for concurrent use by multiple goroutines (open one scanner
+// per goroutine instead; they share the File's cursor pool).
+type RecordScanner struct {
+	f    *File
+	fr   Framer
+	opts RecordOptions
+
+	base    int64  // decompressed offset of buf[0]
+	buf     []byte // buffered decompressed lookahead
+	pending []framing.Record
+	pi      int
+	atStart bool // buf[0] is a record boundary
+	eof     bool // buf reaches the end of the stream
+
+	cur  Record
+	err  error
+	done bool
+}
+
+// Next advances to the next record, reporting false at end of scan or
+// on error. The record is available via Record until the following
+// Next call.
+func (s *RecordScanner) Next() bool {
+	if s.done {
+		return false
+	}
+	for {
+		if s.pi < len(s.pending) {
+			rec := s.pending[s.pi]
+			s.pi++
+			off := s.base + int64(rec.Start)
+			if s.opts.To > 0 && off >= s.opts.To {
+				s.done = true
+				return false
+			}
+			s.cur = Record{Offset: off, Data: rec.Bytes(s.buf), Undetermined: rec.Holes}
+			return true
+		}
+		if s.pending != nil {
+			// Every framed record is consumed: drop the scanned prefix
+			// (retaining the terminator-bearing tail, which keeps the
+			// next window's leading boundary confirmable) before
+			// buffering more.
+			cut := s.pending[len(s.pending)-1].End
+			s.buf = s.buf[:copy(s.buf, s.buf[cut:])]
+			s.base += int64(cut)
+			s.pending, s.pi = nil, 0
+			s.atStart = false
+		}
+		if s.eof {
+			s.done = true
+			return false
+		}
+		if !s.fill() {
+			return false
+		}
+		recs := s.fr.Records(s.buf, s.atStart, s.eof)
+		if !s.eof {
+			// A record touching the end of the lookahead may continue in
+			// the next chunk; hold it back until more bytes arrive.
+			for len(recs) > 0 && recs[len(recs)-1].End == len(s.buf) {
+				recs = recs[:len(recs)-1]
+			}
+		}
+		if len(recs) == 0 {
+			if s.eof {
+				s.done = true
+				return false
+			}
+			if len(s.buf) > s.opts.MaxRecordBytes {
+				s.err = fmt.Errorf("%w (%d buffered at offset %d)", ErrRecordTooLong, len(s.buf), s.base)
+				s.done = true
+				return false
+			}
+			continue // read more lookahead
+		}
+		s.pending, s.pi = recs, 0
+	}
+}
+
+// fill appends one read chunk to the lookahead, reporting false when
+// the scan must stop (read error).
+func (s *RecordScanner) fill() bool {
+	n := len(s.buf)
+	s.buf = append(s.buf, make([]byte, recordScanChunk)...)
+	m, err := s.f.ReadAt(s.buf[n:], s.base+int64(n))
+	s.buf = s.buf[:n+m]
+	switch {
+	case err == nil:
+	case errors.Is(err, io.EOF):
+		s.eof = true
+	default:
+		s.err = err
+		s.done = true
+		return false
+	}
+	return true
+}
+
+// Record returns the record found by the latest Next. Its Data aliases
+// the scanner's buffer and is valid until the next Next call.
+func (s *RecordScanner) Record() Record { return s.cur }
+
+// Err returns the first error encountered by the scan (nil after a
+// clean end of stream).
+func (s *RecordScanner) Err() error { return s.err }

@@ -3,11 +3,11 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: ci vet build test race race-internal race-serve race-diff race-rest \
-	race-cmd fuzz-smoke bench bench-smoke benchdiff api apicheck serve \
-	loadtest clean
+.PHONY: ci vet lint staticcheck build test race race-internal race-serve \
+	race-diff race-rest race-cmd fuzz-smoke bench bench-smoke benchdiff \
+	api apicheck serve loadtest clean
 
-ci: vet build apicheck race fuzz-smoke
+ci: vet lint staticcheck build apicheck race fuzz-smoke
 
 # Public API surface gate: API.txt is the committed `go doc -all`
 # rendering of the root package. apicheck regenerates it and fails on
@@ -24,6 +24,28 @@ apicheck:
 
 vet:
 	$(GO) vet ./...
+
+# Invariant gate: the repo's own analyzer suite (internal/analysis,
+# driven by cmd/pugzvet) run through `go vet -vettool`, so findings
+# carry file:line positions and per-package caching like any vet pass.
+# The tree must stay finding-free — there is no suppression syntax and
+# no baseline file by design; fix the code or fix the analyzer.
+PUGZVET := .tmp/pugzvet
+lint:
+	@mkdir -p .tmp
+	$(GO) build -o $(PUGZVET) ./cmd/pugzvet
+	$(GO) vet -vettool=$(abspath $(PUGZVET)) ./...
+
+# Optional extra linting: runs staticcheck when (and only when) a
+# staticcheck binary is already on PATH. The container and CI cache may
+# lack network access, so this is a local convenience, not a gate —
+# CI installs its own copy in the lint job.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck: binary not found on PATH; skipping (CI runs it)"; \
+	fi
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,24 @@
+// Command pugzvet is the repository's invariant checker: a go vet
+// tool enforcing the contracts the compiler cannot see — pooled-buffer
+// hygiene, atomic snapshot discipline, the fast-decode bail contract,
+// sentinel-error wrapping, and lock-copy/lock-balance rules. See the
+// README "Static analysis" section and the analyzer package docs under
+// internal/analysis for the full rules.
+//
+// Run it through the go command so every package (tests included) is
+// type-checked and analyzed with build-cache support:
+//
+//	make lint
+//	# or directly:
+//	go build -o .tmp/pugzvet ./cmd/pugzvet
+//	go vet -vettool=$(pwd)/.tmp/pugzvet ./...
+package main
+
+import (
+	"repro/internal/analysis/suite"
+	"repro/internal/analysis/unit"
+)
+
+func main() {
+	unit.Main(suite.All()...)
+}

@@ -100,7 +100,7 @@ type File struct {
 	sizeMu sync.Mutex            // singleflight for the Size measuring pass
 
 	posMu sync.Mutex
-	pos   int64 // Read/Seek cursor (decompressed)
+	pos   int64 // Read/Seek cursor (decompressed); guarded by posMu
 
 	// inflated counts the decompressed bytes this File has decoded or
 	// skipped over on behalf of its reads (see InflatedBytes).
@@ -115,7 +115,7 @@ type File struct {
 	// writers — pipeline workers of concurrent cursors — merge their
 	// insertions under cpMu via copy-on-write.
 	cpMu sync.Mutex
-	cps  atomic.Pointer[[]fileCheckpoint] // sorted by out
+	cps  atomic.Pointer[[]fileCheckpoint] // sorted by out; Store guarded by cpMu (Load is lock-free)
 }
 
 // fileCheckpoint is one retained restart point of the first member.
@@ -148,7 +148,7 @@ type fileCursor struct {
 // cursor instead, bounding idle memory.
 type cursorPool struct {
 	mu      sync.Mutex
-	idle    []*fileCursor
+	idle    []*fileCursor // guarded by mu
 	maxIdle int
 }
 

@@ -173,17 +173,27 @@ func TestCursorPoolClaimAndEvict(t *testing.T) {
 		cur.pos, cur.skipPending = pos, pending
 		return cur
 	}
+	park := func(cs ...*fileCursor) {
+		f.cursors.mu.Lock()
+		f.cursors.idle = append(f.cursors.idle, cs...)
+		f.cursors.mu.Unlock()
+	}
+	idleLen := func() int {
+		f.cursors.mu.Lock()
+		defer f.cursors.mu.Unlock()
+		return len(f.cursors.idle)
+	}
 	c100, c500, c800 := mk(100, false), mk(500, true), mk(800, false)
-	f.cursors.idle = []*fileCursor{c100, c500, c800}
+	park(c100, c500, c800)
 
 	if got := f.cursors.claim(600, 1<<20, false); got != c500 {
 		t.Fatalf("claim(600) = pos %v, want the nearest-below cursor (500)", got)
 	}
-	f.cursors.idle = append(f.cursors.idle, c500)
+	park(c500)
 	if got := f.cursors.claim(600, 1<<20, true); got != c100 {
 		t.Fatalf("trusted claim(600) = %v, want the exact-position cursor at 100", got)
 	}
-	f.cursors.idle = append(f.cursors.idle, c100)
+	park(c100)
 	if got := f.cursors.claim(600, 50, true); got != nil {
 		t.Fatalf("claim with tight gap = %v, want nil", got)
 	}
@@ -197,8 +207,8 @@ func TestCursorPoolClaimAndEvict(t *testing.T) {
 	if !extra.r.closed.Load() {
 		t.Fatal("release beyond maxIdle did not close the cursor")
 	}
-	if len(f.cursors.idle) != 3 {
-		t.Fatalf("idle = %d, want 3", len(f.cursors.idle))
+	if n := idleLen(); n != 3 {
+		t.Fatalf("idle = %d, want 3", n)
 	}
 	// Close drains every idle cursor.
 	if err := f.Close(); err != nil {

@@ -1,0 +1,420 @@
+// Package atomicsnapshot enforces the snapshot-publication discipline
+// of pugz.File and the serving layer: shared fields are annotated with
+// a `// guarded by <mu>` comment, and every access must either hold
+// that mutex (a lexical <mu>.Lock()/RLock() earlier in the same
+// function) or live in a function whose name ends in "Locked" — the
+// repo's convention for "caller holds the lock".
+//
+// For fields of sync/atomic cell types the rule is asymmetric, matching
+// how File publishes snapshots: Load and CompareAndSwap are lock-free
+// by design and never need the guard; Store and Swap are publication
+// and must hold it (the writer mutex serializes the read-copy-update,
+// the atomic makes the publish visible).
+//
+// The second rule is copy-on-write hygiene: a slice obtained from an
+// atomic.Pointer Load is a shared immutable snapshot. Writing through
+// it ((*p)[i] = ..., append(*p, ...), *p = ...) mutates data concurrent
+// readers hold; the checkpoint path must clone into a fresh slice and
+// Store that instead.
+package atomicsnapshot
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the atomicsnapshot pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicsnapshot",
+	Doc: "enforce `// guarded by <mu>` field annotations and " +
+		"copy-on-write for slices published through atomic.Pointer",
+	Run: run,
+}
+
+var guardRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_.]*)`)
+
+// access classification.
+type accessKind uint8
+
+const (
+	accRead accessKind = iota
+	accWrite
+	accAtomicLoad  // Load, CompareAndSwap: lock-free by design
+	accAtomicStore // Store, Swap: publication, needs the guard
+	accInit        // composite-literal key: pre-publication, exempt
+)
+
+func run(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) > 0 {
+		analysis.ForEachFunc(pass, func(fs analysis.FuncScope) {
+			checkGuards(pass, fs, guards)
+		})
+	}
+	analysis.ForEachFunc(pass, func(fs analysis.FuncScope) {
+		checkCOW(pass, fs)
+	})
+	return nil
+}
+
+// collectGuards maps annotated struct-field objects to their guard
+// name. The annotation is the field's doc or trailing line comment:
+//
+//	entries map[string]*entry // guarded by mu
+func collectGuards(pass *analysis.Pass) map[types.Object]string {
+	guards := make(map[types.Object]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				guard := guardFromComments(field.Doc, field.Comment)
+				if guard == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if o := pass.TypesInfo.Defs[name]; o != nil {
+						guards[o] = guard
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func guardFromComments(groups ...*ast.CommentGroup) string {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		if m := guardRe.FindStringSubmatch(g.Text()); m != nil {
+			// Annotations name the mutex by its field name; a dotted
+			// path keeps only the final component for suffix matching.
+			guard := m[1]
+			if i := strings.LastIndexByte(guard, '.'); i >= 0 {
+				guard = guard[i+1:]
+			}
+			return guard
+		}
+	}
+	return ""
+}
+
+// checkGuards verifies every annotated-field access in one function
+// scope against the locks that scope demonstrably takes.
+func checkGuards(pass *analysis.Pass, fs analysis.FuncScope, guards map[types.Object]string) {
+	if strings.HasSuffix(strings.TrimSuffix(fs.Name, "/func"), "Locked") {
+		return // caller holds the lock by convention
+	}
+	locks := collectLocks(pass, fs)
+	for _, acc := range collectAccesses(pass, fs, guards) {
+		if acc.kind == accInit || acc.kind == accAtomicLoad {
+			continue
+		}
+		need := "Lock"
+		if acc.kind == accRead {
+			need = "RLock"
+		}
+		if heldAt(locks, acc.guard, acc.pos, need) {
+			continue
+		}
+		verb := map[accessKind]string{
+			accRead:        "read",
+			accWrite:       "write to",
+			accAtomicStore: "atomic publish of",
+		}[acc.kind]
+		pass.Reportf(acc.pos, "%s %s without holding %s (field is marked `guarded by %s`)",
+			verb, acc.name, acc.guard, acc.guard)
+	}
+}
+
+type guardedAccess struct {
+	pos   token.Pos
+	name  string // field name, for the message
+	guard string
+	kind  accessKind
+}
+
+type lockEvent struct {
+	pos   token.Pos
+	guard string // final path component of the mutex
+	read  bool   // RLock rather than Lock
+}
+
+// collectLocks finds <path>.Lock() / <path>.RLock() calls in the scope
+// (not descending into nested function literals — a lock taken by a
+// closure does not cover the enclosing frame). A lock promoted from an
+// embedded mutex (tabs.Lock() on struct{ sync.Mutex; ... }) also
+// counts under the embedded field's name, so `// guarded by Mutex`
+// annotations match.
+func collectLocks(pass *analysis.Pass, fs analysis.FuncScope) []lockEvent {
+	var locks []lockEvent
+	analysis.WalkShallow(fs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || len(call.Args) != 0 {
+			return true
+		}
+		read := false
+		switch sel.Sel.Name {
+		case "Lock":
+		case "RLock":
+			read = true
+		default:
+			return true
+		}
+		path, ok := analysis.PathString(sel.X)
+		if !ok {
+			return true
+		}
+		if i := strings.LastIndexByte(path, '.'); i >= 0 {
+			path = path[i+1:]
+		}
+		locks = append(locks, lockEvent{pos: call.Pos(), guard: path, read: read})
+		if em := promotedField(pass, sel); em != "" && em != path {
+			locks = append(locks, lockEvent{pos: call.Pos(), guard: em, read: read})
+		}
+		return true
+	})
+	return locks
+}
+
+// promotedField returns the name of the embedded field a method
+// selection reaches through ("Mutex" for tabs.Lock() on a struct
+// embedding sync.Mutex), or "" for direct calls.
+func promotedField(pass *analysis.Pass, sel *ast.SelectorExpr) string {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return ""
+	}
+	idx := s.Index()
+	if len(idx) < 2 {
+		return ""
+	}
+	t := s.Recv()
+	name := ""
+	for _, i := range idx[:len(idx)-1] {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return ""
+		}
+		f := st.Field(i)
+		name = f.Name()
+		t = f.Type()
+	}
+	return name
+}
+
+// heldAt reports whether a lock on guard appears lexically before pos.
+// need == "RLock" accepts either flavor; "Lock" requires the writer
+// lock. The check is deliberately lexical (no unlock tracking): it
+// under-reports hand-over-hand unlocking but never flags correctly
+// guarded code.
+func heldAt(locks []lockEvent, guard string, pos token.Pos, need string) bool {
+	for _, l := range locks {
+		if l.guard != guard || l.pos >= pos {
+			continue
+		}
+		if l.read && need == "Lock" {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// collectAccesses finds annotated-field uses in the scope and
+// classifies them by how the surrounding syntax treats the field.
+func collectAccesses(pass *analysis.Pass, fs analysis.FuncScope, guards map[types.Object]string) []guardedAccess {
+	var out []guardedAccess
+	var stack []ast.Node
+	ast.Inspect(fs.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != fs.Body {
+			return false // separate scope
+		}
+		stack = append(stack, n)
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		guard, tracked := guards[obj]
+		if !tracked {
+			return true
+		}
+		out = append(out, guardedAccess{
+			pos:   sel.Sel.Pos(),
+			name:  sel.Sel.Name,
+			guard: guard,
+			kind:  classify(pass, stack, sel, obj),
+		})
+		return true
+	})
+	// Composite-literal field keys (struct construction before the
+	// value is shared) appear as bare idents, not selectors: mark them
+	// exempt by never collecting them. Nothing to do here — Inspect
+	// above only matches selector uses.
+	return out
+}
+
+// classify determines how the field selector at the top of stack is
+// being used. stack[len(stack)-1] == sel.
+func classify(pass *analysis.Pass, stack []ast.Node, sel *ast.SelectorExpr, obj types.Object) accessKind {
+	_, isAtomic := analysis.IsAtomicType(obj.Type())
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.SelectorExpr:
+			// f.field.Method(...): for atomics, split by method.
+			if isAtomic && p.X == stack[i+1] {
+				switch p.Sel.Name {
+				case "Load", "CompareAndSwap":
+					return accAtomicLoad
+				case "Store", "Swap", "Add", "And", "Or":
+					return accAtomicStore
+				}
+			}
+			continue // deeper selection: keep looking outward
+		case *ast.AssignStmt:
+			for _, l := range p.Lhs {
+				if containsNode(l, sel) {
+					return accWrite
+				}
+			}
+			return accRead
+		case *ast.IncDecStmt:
+			return accWrite
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				// Address taken: the alias can write.
+				return accWrite
+			}
+			return accRead
+		case *ast.KeyValueExpr:
+			if id, ok := p.Key.(*ast.Ident); ok && id == sel.Sel {
+				return accInit
+			}
+			return accRead
+		case *ast.IndexExpr, *ast.SliceExpr, *ast.StarExpr, *ast.ParenExpr:
+			continue // derived view: classification comes from its use
+		case *ast.CallExpr:
+			// delete(m, k) and clear(m) mutate; anything else reads the
+			// field value (a map/slice passed onward shares structure,
+			// but flagging every pass-through drowns the signal).
+			switch analysis.BuiltinName(pass.TypesInfo, p) {
+			case "delete", "clear":
+				return accWrite
+			}
+			return accRead
+		default:
+			return accRead
+		}
+	}
+	return accRead
+}
+
+func containsNode(root ast.Expr, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// --- copy-on-write rule ----------------------------------------------
+
+// checkCOW flags mutations through locals bound to an atomic.Pointer
+// Load: the pointee is a published snapshot shared with readers.
+func checkCOW(pass *analysis.Pass, fs analysis.FuncScope) {
+	// snapshot locals: p := x.Load() where x is an atomic.Pointer.
+	snaps := make(map[types.Object]bool)
+	analysis.WalkShallow(fs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, r := range as.Rhs {
+			if !isAtomicPointerLoad(pass, r) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+				if o := pass.TypesInfo.Defs[id]; o != nil {
+					snaps[o] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(snaps) == 0 {
+		return
+	}
+	isSnap := func(e ast.Expr) bool {
+		id := analysis.RootIdent(e)
+		if id == nil {
+			return false
+		}
+		return snaps[pass.TypesInfo.Uses[id]]
+	}
+	analysis.WalkShallow(fs.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range x.Lhs {
+				// (*p)[i] = v, p.f = v, *p = v: writes through the
+				// snapshot pointer.
+				if _, plain := l.(*ast.Ident); !plain && isSnap(l) {
+					pass.Reportf(l.Pos(), "write through atomic.Pointer snapshot: clone the slice before mutating (copy-on-write)")
+				}
+			}
+		case *ast.CallExpr:
+			if analysis.BuiltinName(pass.TypesInfo, x) == "append" && len(x.Args) > 0 && isSnap(x.Args[0]) {
+				pass.Reportf(x.Pos(), "append to atomic.Pointer snapshot may write the shared backing array: clone into a fresh slice first")
+			}
+		case *ast.IncDecStmt:
+			if _, plain := x.X.(*ast.Ident); !plain && isSnap(x.X) {
+				pass.Reportf(x.X.Pos(), "write through atomic.Pointer snapshot: clone the slice before mutating (copy-on-write)")
+			}
+		}
+		return true
+	})
+}
+
+func isAtomicPointerLoad(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Load" {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	name, ok := analysis.IsAtomicType(t)
+	return ok && name == "Pointer"
+}

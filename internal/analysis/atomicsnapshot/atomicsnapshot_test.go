@@ -1,0 +1,12 @@
+package atomicsnapshot_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atomicsnapshot"
+	"repro/internal/analysis/checktest"
+)
+
+func TestAtomicsnapshot(t *testing.T) {
+	checktest.Run(t, atomicsnapshot.Analyzer, "atomicsnap")
+}

@@ -1,0 +1,123 @@
+// Package atomicsnap is the atomicsnapshot fixture, shaped after
+// pugz.File: a position field under a plain mutex, a checkpoint slice
+// published through atomic.Pointer with writes serialized by cpMu, and
+// a freelist guarded by an embedded mutex (internal/tracked's
+// resolveTabs).
+package atomicsnap
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type file struct {
+	mu   sync.Mutex
+	cpMu sync.Mutex
+
+	pos int64                 // guarded by mu
+	cps atomic.Pointer[[]int] // Store guarded by cpMu (Load is lock-free)
+}
+
+// Construction before the value is shared needs no lock: composite
+// literal keys are not access sites.
+func newFile() *file {
+	return &file{}
+}
+
+// --- true positives ---------------------------------------------------
+
+func (f *file) badRead() int64 {
+	return f.pos // want `read pos without holding mu`
+}
+
+func (f *file) badWrite(v int64) {
+	f.pos = v // want `write to pos without holding mu`
+}
+
+func (f *file) badPublish(p *[]int) {
+	f.cps.Store(p) // want `atomic publish of cps without holding cpMu`
+}
+
+// The regression shape from PR 6: append to a loaded snapshot can
+// write the shared backing array in place when capacity allows.
+func (f *file) badAppend(c int) {
+	f.cpMu.Lock()
+	defer f.cpMu.Unlock()
+	cur := f.cps.Load()
+	next := append(*cur, c) // want `append to atomic.Pointer snapshot`
+	f.cps.Store(&next)
+}
+
+func (f *file) badInPlace(i, v int) {
+	f.cpMu.Lock()
+	defer f.cpMu.Unlock()
+	p := f.cps.Load()
+	(*p)[i] = v // want `write through atomic.Pointer snapshot`
+	f.cps.Store(p)
+}
+
+// --- realistic negatives ---------------------------------------------
+
+func (f *file) advance(n int64) {
+	f.mu.Lock()
+	f.pos += n
+	f.mu.Unlock()
+}
+
+func (f *file) tell() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.pos
+}
+
+// posLocked follows the *Locked convention: the caller holds mu.
+func (f *file) posLocked() int64 {
+	return f.pos
+}
+
+// Lock-free snapshot read: Load needs no lock by design.
+func (f *file) snapshot() []int {
+	p := f.cps.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
+}
+
+// The copy-on-write publish path mirrors File.retainCheckpoint:
+// clone under cpMu, mutate the clone, Store the clone.
+func (f *file) retain(c int) {
+	f.cpMu.Lock()
+	defer f.cpMu.Unlock()
+	cur := f.cps.Load()
+	var next []int
+	if cur != nil {
+		next = make([]int, len(*cur), len(*cur)+1)
+		copy(next, *cur)
+	}
+	next = append(next, c)
+	f.cps.Store(&next)
+}
+
+// Embedded mutex: the promoted Lock counts for `guarded by Mutex`.
+type tabs struct {
+	sync.Mutex
+	free []int // guarded by Mutex
+}
+
+func (t *tabs) get() int {
+	t.Lock()
+	defer t.Unlock()
+	if n := len(t.free); n > 0 {
+		v := t.free[n-1]
+		t.free = t.free[:n-1]
+		return v
+	}
+	return 0
+}
+
+func (t *tabs) put(v int) {
+	t.Lock()
+	t.free = append(t.free, v)
+	t.Unlock()
+}

@@ -1,0 +1,12 @@
+package bitbail_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/bitbail"
+	"repro/internal/analysis/checktest"
+)
+
+func TestBitbail(t *testing.T) {
+	checktest.Run(t, bitbail.Analyzer, "bitbail")
+}

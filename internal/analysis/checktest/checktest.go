@@ -1,0 +1,240 @@
+// Package checktest runs analyzers over testdata fixtures, in the
+// shape of golang.org/x/tools/go/analysis/analysistest but built on
+// the stdlib source importer so the module needs no dependency.
+//
+// Fixtures live under testdata/src/<importpath>/ in the analyzer's
+// package directory. Expected findings are `// want "regexp"` line
+// comments: each must be matched by a diagnostic on that line, and
+// every diagnostic must be claimed by a want — unexpected findings
+// fail the test, which keeps the analyzers honest about false
+// positives on the negative fixtures.
+//
+// Fixture packages may import sibling fixture packages by path
+// (testdata/src/sent/inner); anything else resolves through the
+// source importer (stdlib). The module path for module-scoped rules
+// (sentinelwrap) is the first segment of the fixture import path.
+package checktest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run checks analyzer a against each fixture package in pkgPaths.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	for _, path := range pkgPaths {
+		path := path
+		t.Run(path, func(t *testing.T) {
+			runOne(t, a, path)
+		})
+	}
+}
+
+func runOne(t *testing.T, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:     fset,
+		base:     filepath.Join("testdata", "src"),
+		pkgs:     make(map[string]*pkgResult),
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+	analysis.SetModule(strings.SplitN(pkgPath, "/", 2)[0])
+	defer analysis.SetModule("")
+
+	res, err := ld.load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     res.files,
+		Pkg:       res.pkg,
+		TypesInfo: res.info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, fset, res.files)
+	matchDiagnostics(t, fset, wants, diags)
+}
+
+// --- fixture loading --------------------------------------------------
+
+type pkgResult struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	fset     *token.FileSet
+	base     string
+	pkgs     map[string]*pkgResult
+	fallback types.Importer
+	loading  []string
+}
+
+// Import implements types.Importer: fixture-local packages first,
+// stdlib through the source importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if res, ok := l.pkgs[path]; ok {
+		return res.pkg, nil
+	}
+	if fi, err := os.Stat(filepath.Join(l.base, path)); err == nil && fi.IsDir() {
+		for _, p := range l.loading {
+			if p == path {
+				return nil, fmt.Errorf("fixture import cycle through %s", path)
+			}
+		}
+		res, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return res.pkg, nil
+	}
+	return l.fallback.Import(path)
+}
+
+func (l *loader) load(path string) (*pkgResult, error) {
+	dir := filepath.Join(l.base, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l}
+	l.loading = append(l.loading, path)
+	pkg, err := conf.Check(path, l.fset, files, info)
+	l.loading = l.loading[:len(l.loading)-1]
+	if err != nil {
+		return nil, fmt.Errorf("typecheck: %w", err)
+	}
+	res := &pkgResult{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = res
+	return res, nil
+}
+
+// --- want matching ----------------------------------------------------
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range splitQuoted(t, pos, m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted parses the sequence of Go-quoted strings after `want`.
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' && s[0] != '`' {
+			t.Fatalf("%s: want expects quoted patterns, got %q", pos, s)
+		}
+		prefix, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			t.Fatalf("%s: unparsable want pattern in %q: %v", pos, s, err)
+		}
+		unq, err := strconv.Unquote(prefix)
+		if err != nil {
+			t.Fatalf("%s: unquoting %q: %v", pos, prefix, err)
+		}
+		out = append(out, unq)
+		s = strings.TrimSpace(s[len(prefix):])
+	}
+	return out
+}
+
+func matchDiagnostics(t *testing.T, fset *token.FileSet, wants []*want, diags []analysis.Diagnostic) {
+	t.Helper()
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		claimed := false
+		for _, w := range wants {
+			if w.matched || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package analysis
+
+import "go/ast"
+
+// FuncScope is one function-shaped body: a declaration or a literal.
+// Literals are their own scope because their body may run on another
+// goroutine or after the enclosing frame returned (go, defer), so
+// lexical facts about the enclosing function (a held lock, an
+// unconsumed bit budget) do not extend into them.
+type FuncScope struct {
+	// Name is the declared name, with "/func" appended per level of
+	// literal nesting (diagnostic labels only).
+	Name string
+	// Node is the *ast.FuncDecl or *ast.FuncLit.
+	Node ast.Node
+	// Body is the function body (never nil).
+	Body *ast.BlockStmt
+	// Decl is the enclosing top-level declaration (for receiver
+	// lookups); equal to Node for declarations.
+	Decl *ast.FuncDecl
+}
+
+// ForEachFunc invokes fn for every function declaration and every
+// function literal in the pass's files, each as its own scope.
+func ForEachFunc(pass *Pass, fn func(FuncScope)) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn(FuncScope{Name: fd.Name.Name, Node: fd, Body: fd.Body, Decl: fd})
+			collectLits(fd, fd.Name.Name, fd.Body, fn)
+		}
+	}
+}
+
+func collectLits(decl *ast.FuncDecl, name string, root ast.Node, fn func(FuncScope)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			fn(FuncScope{Name: name + "/func", Node: lit, Body: lit.Body, Decl: decl})
+			collectLits(decl, name+"/func", lit.Body, fn)
+			return false
+		}
+		return true
+	})
+}
+
+// WalkShallow inspects node but does not descend into function
+// literals: the caller analyzes those as separate scopes.
+func WalkShallow(node ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != node {
+			return false
+		}
+		return visit(n)
+	})
+}

@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Callee resolves the object a call expression invokes: a function, a
+// method, or nil for dynamic calls (function-typed variables, builtins
+// resolve to nil too — use BuiltinName for those).
+func Callee(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if o := info.Uses[fn]; o != nil {
+			if _, ok := o.(*types.Func); ok {
+				return o
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fn]; ok {
+			return sel.Obj() // method value or expression
+		}
+		// Qualified identifier (pkg.Func).
+		if o := info.Uses[fn.Sel]; o != nil {
+			if _, ok := o.(*types.Func); ok {
+				return o
+			}
+		}
+	}
+	return nil
+}
+
+// BuiltinName returns the name of the builtin a call invokes ("len",
+// "copy", ...) or "" when the callee is not a builtin.
+func BuiltinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, ok := info.Uses[id].(*types.Builtin); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// RootIdent unwraps selectors, indexing, slicing, dereferences,
+// parens, and type assertions down to the base identifier of an
+// expression, or nil when the base is not a plain identifier (a call
+// result, a literal, ...).
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// PathString renders a pure identifier/selector chain as a dotted
+// path ("f.cursors.mu"). The second result is false when the
+// expression contains anything else (calls, indexing, literals).
+func PathString(e ast.Expr) (string, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name, true
+	case *ast.SelectorExpr:
+		base, ok := PathString(x.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + x.Sel.Name, true
+	}
+	return "", false
+}
+
+// Terminates reports whether stmt never lets control flow past it:
+// returns, branches, panics, and blocks/ifs that end in one of those.
+// It is deliberately syntactic (no reachability solving); analyzers
+// use it to skip subtrees whose effects cannot reach a statement
+// after them.
+func Terminates(s ast.Stmt) bool {
+	switch x := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return true // break, continue, goto, fallthrough all leave
+	case *ast.ExprStmt:
+		if call, ok := x.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		if n := len(x.List); n > 0 {
+			return Terminates(x.List[n-1])
+		}
+	case *ast.IfStmt:
+		if x.Else == nil {
+			return false
+		}
+		return Terminates(x.Body) && Terminates(x.Else)
+	case *ast.LabeledStmt:
+		return Terminates(x.Stmt)
+	}
+	return false
+}
+
+// syncPrimitive reports whether t itself is a sync or sync/atomic
+// type that must not be copied (Mutex, WaitGroup, atomic.Int64,
+// atomic.Pointer[T], ...).
+func syncPrimitive(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "sync":
+		switch obj.Name() {
+		case "Mutex", "RWMutex", "WaitGroup", "Cond", "Once", "Pool", "Map":
+			return true
+		}
+	case "sync/atomic":
+		switch obj.Name() {
+		case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value":
+			return true
+		}
+	}
+	return false
+}
+
+// HoldsSyncPrimitive reports whether a value of type t embeds (by
+// value, transitively, through structs and arrays) a sync primitive
+// or an atomic — i.e. whether copying t silently forks a lock or a
+// published cell. Pointers, slices, maps, channels, and interfaces
+// break the chain: sharing through them is the correct discipline.
+func HoldsSyncPrimitive(t types.Type) bool {
+	return holdsSync(t, make(map[types.Type]bool))
+}
+
+func holdsSync(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if syncPrimitive(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if holdsSync(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return holdsSync(u.Elem(), seen)
+	}
+	return false
+}
+
+// IsAtomicType reports whether t is a sync/atomic cell type, and if
+// so returns its name ("Pointer", "Int64", ...).
+func IsAtomicType(t types.Type) (string, bool) {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// IsErrorValue reports whether t is assignable to the error interface
+// (and is not the untyped nil).
+func IsErrorValue(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return types.AssignableTo(t, errorType)
+}
+
+// CountWrapVerbs counts %w conversion verbs in a fmt format string,
+// skipping flags, width, precision, and argument indexes, and
+// ignoring %%.
+func CountWrapVerbs(format string) int {
+	n := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Skip flags, width, precision, index ([n]).
+		for i < len(format) && strings.ContainsRune("+-# 0123456789.[]*", rune(format[i])) {
+			i++
+		}
+		if i < len(format) && format[i] == 'w' {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,108 @@
+// Package lockbalance checks that every mutex acquired in a function
+// is released in that same function: a <path>.Lock() (or RLock) with
+// no matching <path>.Unlock() (or RUnlock) anywhere in the scope —
+// inline, deferred, or inside a deferred closure — is almost always a
+// leaked lock on an early-return path.
+//
+// Matching is by the lexical path of the mutex expression ("c.mu",
+// "f.cursors.mu"), so two locks on different receivers never satisfy
+// each other. The check is existence-based, not path-sensitive: it
+// will not catch an early return between Lock and a non-deferred
+// Unlock, but it never flags correct code, which is what a zero-
+// suppression gate needs. Functions that intentionally return with
+// the lock held follow the repo's *Locked naming convention and are
+// exempt.
+package lockbalance
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the lockbalance pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockbalance",
+	Doc: "check that each mutex Lock/RLock has a matching Unlock/RUnlock " +
+		"in the same function scope",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.ForEachFunc(pass, func(fs analysis.FuncScope) {
+		if strings.HasSuffix(strings.TrimSuffix(fs.Name, "/func"), "Locked") {
+			return
+		}
+		checkScope(pass, fs)
+	})
+	return nil
+}
+
+type lockUse struct {
+	pos  token.Pos
+	path string
+	name string // Lock, RLock, Unlock, RUnlock
+}
+
+func checkScope(pass *analysis.Pass, fs analysis.FuncScope) {
+	var uses []lockUse
+	record := func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || len(call.Args) != 0 {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock", "Unlock", "RUnlock":
+		default:
+			return true
+		}
+		path, ok := analysis.PathString(sel.X)
+		if !ok {
+			return true
+		}
+		uses = append(uses, lockUse{pos: call.Pos(), path: path, name: sel.Sel.Name})
+		return true
+	}
+	// An Unlock inside a deferred closure releases on behalf of this
+	// frame, so deferred literals count toward balance here — unlike
+	// plain nested literals, which are their own scope.
+	analysis.WalkShallow(fs.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, record)
+				return false
+			}
+		}
+		return record(n)
+	})
+	for _, u := range uses {
+		var want string
+		switch u.name {
+		case "Lock":
+			want = "Unlock"
+		case "RLock":
+			want = "RUnlock"
+		default:
+			continue
+		}
+		if !hasRelease(uses, u.path, want) {
+			pass.Reportf(u.pos, "%s.%s() has no matching %s in this function: an early return leaves the mutex held (or rename the function *Locked if the caller releases it)",
+				u.path, u.name, want)
+		}
+	}
+}
+
+func hasRelease(uses []lockUse, path, want string) bool {
+	for _, u := range uses {
+		if u.path == path && u.name == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package lockbalance_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/checktest"
+	"repro/internal/analysis/lockbalance"
+)
+
+func TestLockbalance(t *testing.T) {
+	checktest.Run(t, lockbalance.Analyzer, "lockbal")
+}

@@ -1,0 +1,88 @@
+// Package lockbal is the lockbalance fixture, shaped after the serve
+// cache and the cursor pool: deferred unlocks, inline unlock pairs,
+// deferred-closure unlocks, RWMutex read paths, and the *Locked
+// naming convention for functions that run under the caller's lock.
+package lockbal
+
+import "sync"
+
+type cache struct {
+	mu sync.Mutex
+	n  int
+}
+
+type index struct {
+	mu sync.RWMutex
+	v  int
+}
+
+// --- true positives ---------------------------------------------------
+
+func (c *cache) leak() int {
+	c.mu.Lock() // want `no matching Unlock`
+	return c.n
+}
+
+func (ix *index) readLeak() int {
+	ix.mu.RLock() // want `no matching RUnlock`
+	return ix.v
+}
+
+// Mismatched flavors do not balance: RLock needs RUnlock.
+func (ix *index) flavorMismatch() int {
+	ix.mu.RLock() // want `no matching RUnlock`
+	defer ix.mu.Unlock()
+	return ix.v
+}
+
+// --- realistic negatives ---------------------------------------------
+
+func (c *cache) deferred() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *cache) inline() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Unlock inside a deferred closure releases for this frame (the
+// serve handler pattern).
+func (c *cache) deferredClosure() {
+	c.mu.Lock()
+	defer func() {
+		c.n = 0
+		c.mu.Unlock()
+	}()
+	c.n++
+}
+
+func (ix *index) read() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.v
+}
+
+// Two different mutexes each balance independently.
+func transfer(a, b *cache) {
+	a.mu.Lock()
+	b.mu.Lock()
+	a.n, b.n = b.n, a.n
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// evictLocked runs under the caller's lock: exempt by convention.
+func (c *cache) evictLocked() {
+	c.n = 0
+}
+
+// claimLocked intentionally returns holding the lock; the *Locked
+// suffix exempts it (the unexported cursor-claim pattern).
+func (c *cache) claimLocked() *cache {
+	c.mu.Lock()
+	return c
+}

@@ -1,0 +1,156 @@
+// Package nolockcopy flags by-value movement of types that
+// transitively hold sync primitives or sync/atomic cells. The stock
+// `go vet` copylocks check keys on the Lock/Unlock method set, so a
+// struct whose only synchronization is an embedded atomic.Int64 or
+// atomic.Pointer — pugz.File, serve's handleCache, the metrics
+// Registry — slips through: copying it silently forks the published
+// cell, and the copy's loads never see the original's stores.
+//
+// The rule: such types cross function boundaries only by pointer.
+// Flagged sites are by-value parameters, results, and receivers, and
+// copies made by dereferencing a pointer to such a type.
+package nolockcopy
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the nolockcopy pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nolockcopy",
+	Doc: "flag by-value transfer of types holding sync primitives or " +
+		"atomics (including embedded atomics vet's copylocks misses)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if x.Recv != nil {
+					checkFieldList(pass, x.Recv, "receiver")
+				}
+				checkSignature(pass, x.Type)
+			case *ast.FuncLit:
+				checkSignature(pass, x.Type)
+			case *ast.AssignStmt:
+				for _, r := range x.Rhs {
+					checkDerefCopy(pass, r)
+				}
+			case *ast.GenDecl:
+				for _, spec := range x.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, v := range vs.Values {
+							checkDerefCopy(pass, v)
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				checkRangeValue(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSignature(pass *analysis.Pass, ft *ast.FuncType) {
+	checkFieldList(pass, ft.Params, "parameter")
+	if ft.Results != nil {
+		checkFieldList(pass, ft.Results, "result")
+	}
+}
+
+func checkFieldList(pass *analysis.Pass, fl *ast.FieldList, what string) {
+	for _, field := range fl.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if name, bad := holding(t); bad {
+			pass.Reportf(field.Type.Pos(), "%s passes %s by value: it holds %s, so the copy forks the synchronization state — pass a pointer",
+				what, types.TypeString(t, types.RelativeTo(pass.Pkg)), name)
+		}
+	}
+}
+
+// checkDerefCopy flags x := *p where *p holds sync state.
+func checkDerefCopy(pass *analysis.Pass, e ast.Expr) {
+	star, ok := ast.Unparen(e).(*ast.StarExpr)
+	if !ok {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(star)
+	if t == nil {
+		return
+	}
+	if name, bad := holding(t); bad {
+		pass.Reportf(star.Pos(), "dereference copies %s by value: it holds %s — keep the pointer",
+			types.TypeString(t, types.RelativeTo(pass.Pkg)), name)
+	}
+}
+
+func checkRangeValue(pass *analysis.Pass, r *ast.RangeStmt) {
+	if r.Value == nil {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(r.Value)
+	if t == nil {
+		return
+	}
+	if name, bad := holding(t); bad {
+		pass.Reportf(r.Value.Pos(), "range copies %s elements by value: each holds %s — range over indexes or pointers",
+			types.TypeString(t, types.RelativeTo(pass.Pkg)), name)
+	}
+}
+
+// holding reports whether t (not a pointer/slice/map/chan/interface)
+// transitively holds a sync primitive, and names one for the message.
+func holding(t types.Type) (string, bool) {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Interface, *types.Signature:
+		return "", false
+	}
+	if !analysis.HoldsSyncPrimitive(t) {
+		return "", false
+	}
+	return syncName(t), true
+}
+
+// syncName finds the name of one sync primitive inside t for the
+// diagnostic ("sync.Mutex", "atomic.Pointer", ...).
+func syncName(t types.Type) string {
+	return findSync(t, make(map[types.Type]bool))
+}
+
+func findSync(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if n, ok := t.(*types.Named); ok {
+		if obj := n.Obj(); obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				return "sync." + obj.Name()
+			case "sync/atomic":
+				return "atomic." + obj.Name()
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if s := findSync(u.Field(i).Type(), seen); s != "" {
+				return s
+			}
+		}
+	case *types.Array:
+		return findSync(u.Elem(), seen)
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package nolockcopy_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/checktest"
+	"repro/internal/analysis/nolockcopy"
+)
+
+func TestNolockcopy(t *testing.T) {
+	checktest.Run(t, nolockcopy.Analyzer, "lockcopy")
+}

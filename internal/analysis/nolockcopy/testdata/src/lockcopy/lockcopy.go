@@ -1,0 +1,85 @@
+// Package lockcopy is the nolockcopy fixture. counter is the class
+// the stock vet copylocks check misses: no Lock method anywhere, just
+// an embedded atomic cell (the shape of metrics.Counter, pugz.File's
+// usize, handleCache's gauges) — copying it forks the published value.
+package lockcopy
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	hits atomic.Int64
+}
+
+type registry struct {
+	mu    sync.Mutex
+	names []string
+}
+
+// aliased hides the atomic one struct deeper, like File embedding its
+// cursor pool.
+type aliased struct {
+	inner counter
+	n     int
+}
+
+// --- true positives ---------------------------------------------------
+
+func byValue(c counter) int64 { // want `parameter passes counter by value`
+	return c.hits.Load()
+}
+
+func returnsValue() aliased { // want `result passes aliased by value`
+	return aliased{}
+}
+
+func (r registry) size() int { // want `receiver passes registry by value`
+	return len(r.names)
+}
+
+func derefCopy(c *counter) int64 {
+	snap := *c // want `dereference copies counter by value`
+	return snap.hits.Load()
+}
+
+func rangeCopy(cs []aliased) int {
+	n := 0
+	for _, c := range cs { // want `range copies aliased elements by value`
+		n += c.n
+	}
+	return n
+}
+
+// --- realistic negatives ---------------------------------------------
+
+func byPointer(c *counter) int64 {
+	return c.hits.Load()
+}
+
+func newRegistry() *registry {
+	return &registry{}
+}
+
+func (r *registry) add(name string) {
+	r.mu.Lock()
+	r.names = append(r.names, name)
+	r.mu.Unlock()
+}
+
+// Slices, maps, and channels of pointers share correctly.
+func sum(cs []*counter) int64 {
+	var n int64
+	for _, c := range cs {
+		n += c.hits.Load()
+	}
+	return n
+}
+
+// Indexing instead of copying element values.
+func bump(cs []counter) {
+	for i := range cs {
+		cs[i].hits.Add(1)
+	}
+}

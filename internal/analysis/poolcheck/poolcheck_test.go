@@ -1,0 +1,12 @@
+package poolcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/checktest"
+	"repro/internal/analysis/poolcheck"
+)
+
+func TestPoolcheck(t *testing.T) {
+	checktest.Run(t, poolcheck.Analyzer, "pool")
+}

@@ -1,0 +1,138 @@
+// Package sentinelwrap enforces the error-contract conventions of the
+// module: package sentinel errors (exported or not, spelled Err*) are
+// part of a package's API through errors.Is, so
+//
+//   - comparing a module sentinel from another package with == or !=
+//     breaks as soon as any layer wraps the error — use errors.Is;
+//   - fmt.Errorf with an error argument and no %w verb severs the
+//     chain that errors.Is and the HTTP error mapper in internal/serve
+//     walk — wrap with %w.
+//
+// The rule is module-scoped: comparisons against stdlib contract
+// errors (io.EOF, sql.ErrNoRows) follow those packages' documented
+// semantics and stay untouched, as do same-package comparisons in the
+// package that owns the sentinel (it controls wrapping on its own
+// paths).
+package sentinelwrap
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the sentinelwrap pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "sentinelwrap",
+	Doc: "require errors.Is for cross-package sentinel comparisons and " +
+		"%w when fmt.Errorf carries an error",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				checkCompare(pass, x)
+			case *ast.CallExpr:
+				checkErrorf(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCompare flags err == pkg.ErrFoo / != where ErrFoo is a
+// package-level error variable from another package of this module.
+func checkCompare(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		s := sentinelOf(pass, side)
+		if s == nil {
+			continue
+		}
+		op := "=="
+		if be.Op == token.NEQ {
+			op = "!="
+		}
+		pass.Reportf(be.OpPos, "sentinel %s.%s compared with %s: use errors.Is so wrapped errors still match",
+			s.Pkg().Name(), s.Name(), op)
+		return
+	}
+}
+
+// sentinelOf returns the sentinel-error object e names when the
+// comparison is cross-package within the module, else nil.
+func sentinelOf(pass *analysis.Pass, e ast.Expr) types.Object {
+	var obj types.Object
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[x]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[x.Sel]
+	default:
+		return nil
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return nil
+	}
+	// Package-level error variable named like a sentinel.
+	if v.Parent() != v.Pkg().Scope() || !strings.HasPrefix(v.Name(), "Err") {
+		return nil
+	}
+	if !analysis.IsErrorValue(v.Type()) {
+		return nil
+	}
+	// Module-scoped, cross-package only.
+	if !analysis.InModule(v.Pkg()) || v.Pkg() == pass.Pkg {
+		return nil
+	}
+	return v
+}
+
+// checkErrorf flags fmt.Errorf calls that pass an error value but
+// format it with something other than %w.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	wraps := analysis.CountWrapVerbs(format)
+	errArgs := 0
+	var firstErr ast.Expr
+	for _, a := range call.Args[1:] {
+		if analysis.IsErrorValue(pass.TypesInfo.TypeOf(a)) {
+			if firstErr == nil {
+				firstErr = a
+			}
+			errArgs++
+		}
+	}
+	if errArgs > wraps {
+		pass.Reportf(firstErr.Pos(), "error formatted without %%w: the cause is severed from errors.Is/errors.As chains")
+	}
+}

@@ -1,0 +1,12 @@
+package sentinelwrap_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/checktest"
+	"repro/internal/analysis/sentinelwrap"
+)
+
+func TestSentinelwrap(t *testing.T) {
+	checktest.Run(t, sentinelwrap.Analyzer, "sent")
+}

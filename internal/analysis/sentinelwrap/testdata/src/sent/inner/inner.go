@@ -1,0 +1,20 @@
+// Package inner exports the sentinels the outer fixture package
+// compares against — the internal/flate / internal/tracked roles.
+package inner
+
+import "errors"
+
+// ErrSymbolRange mirrors tracked.ErrSymbolRange: a cross-package
+// contract error that layers above wrap with context.
+var ErrSymbolRange = errors.New("symbol index out of range")
+
+// ErrCorrupt mirrors flate.ErrCorrupt.
+var ErrCorrupt = errors.New("corrupt deflate stream")
+
+// Decode fails with a wrapped sentinel, as the real decoders do.
+func Decode(ok bool) error {
+	if !ok {
+		return ErrCorrupt
+	}
+	return nil
+}

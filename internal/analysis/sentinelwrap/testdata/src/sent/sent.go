@@ -1,0 +1,65 @@
+// Package sent is the sentinelwrap fixture: cross-package sentinel
+// comparisons and fmt.Errorf wrapping, with the stdlib-contract and
+// errors.Is negatives the rule must leave alone.
+package sent
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"sent/inner"
+)
+
+// --- true positives ---------------------------------------------------
+
+func badCompare(err error) bool {
+	return err == inner.ErrCorrupt // want `compared with ==: use errors.Is`
+}
+
+func badNotEqual(err error) bool {
+	return err != inner.ErrSymbolRange // want `compared with !=: use errors.Is`
+}
+
+// Severs the chain: callers can no longer errors.Is the cause.
+func badWrap(off int64) error {
+	if err := inner.Decode(false); err != nil {
+		return fmt.Errorf("decode at %d: %v", off, err) // want `error formatted without %w`
+	}
+	return nil
+}
+
+// --- realistic negatives ---------------------------------------------
+
+func goodCompare(err error) bool {
+	return errors.Is(err, inner.ErrCorrupt)
+}
+
+// io.EOF documents identity comparison; stdlib contracts are out of
+// the module-scoped rule.
+func stdlibContract(err error) bool {
+	return err == io.EOF
+}
+
+func goodWrap(off int64) error {
+	if err := inner.Decode(false); err != nil {
+		return fmt.Errorf("decode at %d: %w", off, err)
+	}
+	return nil
+}
+
+// Nil checks are not sentinel comparisons.
+func nilCheck(err error) bool {
+	return err != nil
+}
+
+// Errorf without an error argument carries no chain to preserve.
+func plainErrorf(n int) error {
+	return fmt.Errorf("short read: %d bytes", n)
+}
+
+// Regression (sweep of internal/flate): sentinel plus cause, both
+// wrapped — the double-%w idiom decoder.go uses after the sweep.
+func doubleWrap(err error) error {
+	return fmt.Errorf("%w: code-length tree: %w", inner.ErrCorrupt, err)
+}

@@ -1,0 +1,32 @@
+// Package suite registers the full pugzvet analyzer set. cmd/pugzvet
+// and the smoke tests consume this one list so a new analyzer added
+// here is automatically wired into `make lint`, CI, and -help output.
+package suite
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/atomicsnapshot"
+	"repro/internal/analysis/bitbail"
+	"repro/internal/analysis/lockbalance"
+	"repro/internal/analysis/nolockcopy"
+	"repro/internal/analysis/poolcheck"
+	"repro/internal/analysis/sentinelwrap"
+)
+
+// All returns the analyzers pugzvet runs, in reporting order.
+//
+// The stock x/tools passes the issue sketch mentions (nilness,
+// unusedwrite) need golang.org/x/tools, which this module deliberately
+// does not depend on (the build must work offline from a bare
+// toolchain); lockbalance and the use-after-release half of poolcheck
+// cover the overlapping ground natively.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		poolcheck.Analyzer,
+		atomicsnapshot.Analyzer,
+		bitbail.Analyzer,
+		sentinelwrap.Analyzer,
+		nolockcopy.Analyzer,
+		lockbalance.Analyzer,
+	}
+}

@@ -1,0 +1,272 @@
+// Package unit implements the cmd/go vet-tool protocol (the role of
+// golang.org/x/tools/go/analysis/unitchecker) on the standard library
+// alone, so cmd/pugzvet can run as
+//
+//	go vet -vettool=$(pwd)/.tmp/pugzvet ./...
+//
+// The protocol, reverse-engineered from cmd/go and the x/tools
+// unitchecker:
+//
+//  1. `tool -V=full` prints a version line cmd/go hashes into its
+//     build cache key ("name version devel ... buildID=<hex>").
+//  2. `tool -flags` prints a JSON description of supported flags
+//     (none here).
+//  3. For each package, cmd/go writes a JSON "vet config" describing
+//     the unit — file list, import map, export-data files for every
+//     dependency — and invokes `tool <cfg>.cfg`. The tool typechecks
+//     from export data (no go/packages, no network), runs its
+//     analyzers, prints findings to stderr as "file:line:col: msg",
+//     writes the (possibly empty) facts file named by VetxOutput, and
+//     exits 2 when it found anything.
+//
+// Analyzers in this suite exchange no facts, so dependency runs
+// (VetxOnly) just write an empty facts file and return.
+package unit
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Config mirrors the JSON vet configuration cmd/go writes; field names
+// must match (they are part of the cmd/go <-> vettool contract).
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for a vet-tool binary running analyzers.
+// It never returns.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	args := os.Args[1:]
+
+	for i, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full" || (a == "-V" && i+1 < len(args) && args[i+1] == "full"):
+			printVersion(progname)
+			os.Exit(0)
+		case a == "-V" || a == "--V":
+			fmt.Printf("%s version devel\n", progname)
+			os.Exit(0)
+		case a == "-flags" || a == "--flags":
+			// No tool-specific flags: an empty JSON flag list.
+			fmt.Println("[]")
+			os.Exit(0)
+		case a == "-help" || a == "--help" || a == "-h":
+			usage(progname, analyzers)
+			os.Exit(0)
+		}
+	}
+
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		usage(progname, analyzers)
+		os.Exit(1)
+	}
+	os.Exit(run(args[0], analyzers))
+}
+
+// printVersion emits the version line cmd/go fingerprints for its
+// build cache: "name version devel ... buildID=<content hash>".
+func printVersion(progname string) {
+	data, err := os.ReadFile(os.Args[0])
+	if err != nil {
+		// Still print a parseable line; the hash of nothing is stable.
+		data = nil
+	}
+	h := sha256.Sum256(data)
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, string(h[:]))
+}
+
+func usage(progname string, analyzers []*analysis.Analyzer) {
+	fmt.Fprintf(os.Stderr, "%s: static-analysis suite for this repository.\n\n", progname)
+	fmt.Fprintf(os.Stderr, "usage: go vet -vettool=%s ./...\n\nanalyzers:\n", progname)
+	for _, a := range analyzers {
+		fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+	}
+}
+
+func run(cfgPath string, analyzers []*analysis.Analyzer) int {
+	cfg, err := readConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reading vet config %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The suite exchanges no facts across packages, so a facts-only
+	// invocation (a dependency of the packages under analysis) has
+	// nothing to compute.
+	if cfg.VetxOnly {
+		if err := writeVetx(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files, info, pkg, err := typecheck(fset, cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			if werr := writeVetx(cfg); werr != nil {
+				fmt.Fprintln(os.Stderr, werr)
+				return 1
+			}
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "%s: typecheck: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	analysis.SetModule(cfg.ModulePath)
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: analyzer %s: %v\n", cfg.ImportPath, a.Name, err)
+			return 1
+		}
+	}
+
+	if err := writeVetx(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	return 2
+}
+
+func readConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// writeVetx writes the (empty) facts file cmd/go caches for this unit.
+func writeVetx(cfg *Config) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+		return fmt.Errorf("writing facts output: %w", err)
+	}
+	return nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func typecheck(fset *token.FileSet, cfg *Config) ([]*ast.File, *types.Info, *types.Package, error) {
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+
+	// Dependencies typecheck from compiler export data: cmd/go tells us
+	// the file for each resolved package path in PackageFile, and the
+	// source-level import path to resolved path mapping in ImportMap.
+	compilerImporter := importer.ForCompiler(fset, compilerOf(cfg), func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: langVersion(cfg.GoVersion),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return files, info, pkg, nil
+}
+
+func compilerOf(cfg *Config) string {
+	if cfg.Compiler == "" {
+		return "gc"
+	}
+	return cfg.Compiler
+}
+
+var langRe = regexp.MustCompile(`^go\d+\.\d+`)
+
+// langVersion trims a toolchain version ("go1.22.5") to the language
+// version go/types accepts ("go1.22").
+func langVersion(v string) string {
+	if m := langRe.FindString(v); m != "" {
+		return m
+	}
+	return ""
+}

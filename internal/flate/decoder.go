@@ -332,7 +332,7 @@ func (d *Decoder) readDynamicHeader(r *bitio.Reader) error {
 		if quiet {
 			return ErrBadHuffmanTree
 		}
-		return fmt.Errorf("%w: code-length tree: %v", ErrBadHuffmanTree, err)
+		return fmt.Errorf("%w: code-length tree: %w", ErrBadHuffmanTree, err)
 	}
 
 	total := hlit + hdist
@@ -344,7 +344,7 @@ func (d *Decoder) readDynamicHeader(r *bitio.Reader) error {
 			if quiet {
 				return ErrBadHuffmanTree
 			}
-			return fmt.Errorf("%w: %v", ErrBadHuffmanTree, err)
+			return fmt.Errorf("%w: %w", ErrBadHuffmanTree, err)
 		}
 		switch {
 		case sym < 16:
@@ -416,13 +416,13 @@ func (d *Decoder) readDynamicHeader(r *bitio.Reader) error {
 		if quiet {
 			return ErrBadHuffmanTree
 		}
-		return fmt.Errorf("%w: litlen tree: %v", ErrBadHuffmanTree, err)
+		return fmt.Errorf("%w: litlen tree: %w", ErrBadHuffmanTree, err)
 	}
 	if err := d.dist.Init(lens[hlit:total], true); err != nil {
 		if quiet {
 			return ErrBadHuffmanTree
 		}
-		return fmt.Errorf("%w: dist tree: %v", ErrBadHuffmanTree, err)
+		return fmt.Errorf("%w: dist tree: %w", ErrBadHuffmanTree, err)
 	}
 	return nil
 }
@@ -495,7 +495,7 @@ func (d *Decoder) decodeCompressedWith(r *bitio.Reader, v Visitor, ev BlockEvent
 			if validate {
 				return ErrTruncated
 			}
-			return fmt.Errorf("%w: %v", ErrTruncated, err)
+			return fmt.Errorf("%w: %w", ErrTruncated, err)
 		}
 		switch {
 		case sym < 256:
@@ -532,7 +532,7 @@ func (d *Decoder) decodeCompressedWith(r *bitio.Reader, v Visitor, ev BlockEvent
 				if validate {
 					return ErrTruncated
 				}
-				return fmt.Errorf("%w: %v", ErrTruncated, err)
+				return fmt.Errorf("%w: %w", ErrTruncated, err)
 			}
 			if dsym >= len(distBase) {
 				return ErrBadDistanceSymbol

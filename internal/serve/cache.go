@@ -55,10 +55,10 @@ type handleCache struct {
 	opts CacheOptions
 
 	mu      sync.Mutex
-	entries map[string]*cacheEntry
-	lru     *list.List // of *cacheEntry; front = most recently used
-	used    int64
-	closed  bool
+	entries map[string]*cacheEntry // guarded by mu
+	lru     *list.List             // of *cacheEntry; front = most recently used; guarded by mu
+	used    int64                  // guarded by mu
+	closed  bool                   // guarded by mu
 
 	flight flightGroup // keyed by blob name: cold opens
 }

@@ -41,8 +41,8 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // lifetime average.
 type rateWindow struct {
 	mu      sync.Mutex
-	buckets [rateBuckets]int64
-	seconds [rateBuckets]int64 // unix second each bucket counts
+	buckets [rateBuckets]int64 // guarded by mu
+	seconds [rateBuckets]int64 // unix second each bucket counts; guarded by mu
 }
 
 const (
@@ -128,7 +128,7 @@ type Registry struct {
 	IndexBuildLastNanos Gauge   // wall time of the most recent build
 
 	mu    sync.Mutex
-	blobs map[string]*BlobStats
+	blobs map[string]*BlobStats // guarded by mu
 }
 
 // New returns an empty registry; the qps window starts now.

@@ -9,7 +9,7 @@ import "sync"
 // build), without pulling in golang.org/x/sync.
 type flightGroup struct {
 	mu sync.Mutex
-	m  map[string]*flightCall
+	m  map[string]*flightCall // guarded by mu
 }
 
 type flightCall struct {

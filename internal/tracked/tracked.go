@@ -365,7 +365,7 @@ type resolveTab [256 + WindowSize]byte
 
 var resolveTabs struct {
 	sync.Mutex
-	free []*resolveTab
+	free []*resolveTab // guarded by Mutex
 }
 
 const resolveTabKeep = 16 // bounded retention: at most ~528 KiB parked

@@ -152,6 +152,7 @@ func TestResolveWindowShortChunk(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer PutWindow(w)
 	if len(w) != WindowSize {
 		t.Fatalf("window size %d", len(w))
 	}
@@ -169,7 +170,8 @@ func TestResolveBadContext(t *testing.T) {
 	if _, err := Resolve([]uint16{1}, make([]byte, 100), nil); err == nil {
 		t.Fatal("short context accepted")
 	}
-	if _, err := ResolveWindow([]uint16{1}, make([]byte, 100)); err == nil {
+	if w, err := ResolveWindow([]uint16{1}, make([]byte, 100)); err == nil {
+		PutWindow(w)
 		t.Fatal("short context accepted")
 	}
 }
